@@ -1,0 +1,65 @@
+// Command pbclassify reproduces Tables 10 and 11 of the paper:
+// benchmark classification by the Euclidean distance between
+// parameter-rank vectors. It can classify either the paper's published
+// Table 9 ranks (the default, exactly reproducing the published
+// Tables 10-11) or freshly measured ranks from the simulator.
+//
+// Usage:
+//
+//	pbclassify [-source paper|sim] [-threshold 63.25] [-dendrogram] [-n 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbsim/internal/cluster"
+	"pbsim/internal/experiment"
+	"pbsim/internal/paperdata"
+	"pbsim/internal/report"
+)
+
+func main() {
+	source := flag.String("source", "paper", "rank source: 'paper' (published Table 9) or 'sim' (fresh measurement)")
+	threshold := flag.Float64("threshold", paperdata.Threshold, "similarity threshold (paper uses sqrt(4000) ~ 63.2); 0 selects the 15th percentile of measured distances")
+	dendro := flag.Bool("dendrogram", false, "also print a single-linkage clustering dendrogram")
+	n := flag.Int64("n", experiment.DefaultInstructions, "instructions per configuration when -source sim")
+	warmup := flag.Int64("warmup", experiment.DefaultWarmup, "warmup instructions when -source sim")
+	flag.Parse()
+
+	m, err := buildMatrix(*source, *n, *warmup)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbclassify: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.DistanceTable(m, "Table 10: Distance Between Benchmark Vectors, Based on Parameter Ranks"))
+	cut := *threshold
+	if cut <= 0 {
+		cut = cluster.PercentileThreshold(m, 0.15)
+	}
+	groups := cluster.GroupNames(m, cluster.ThresholdGroups(m, cut))
+	fmt.Println(report.GroupTable(groups, cut))
+	if *dendro {
+		fmt.Println(cluster.Agglomerate(m, cluster.SingleLinkage).ASCII())
+	}
+}
+
+func buildMatrix(source string, n, warmup int64) (*cluster.Matrix, error) {
+	switch source {
+	case "paper":
+		return cluster.DistanceMatrix(paperdata.Benchmarks, paperdata.RankVectors(paperdata.Table9))
+	case "sim":
+		suite, err := experiment.RunSuite(experiment.Options{
+			Instructions: n,
+			Warmup:       warmup,
+			Foldover:     true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return cluster.DistanceMatrix(suite.Benchmarks, suite.RankRows)
+	default:
+		return nil, fmt.Errorf("unknown source %q", source)
+	}
+}

@@ -1,0 +1,46 @@
+// Command pbdesign prints Plackett-Burman design matrices and the
+// paper's worked effects example (Tables 1-4).
+//
+// Usage:
+//
+//	pbdesign [-x 8] [-foldover] [-example] [-cost N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbsim/internal/pb"
+	"pbsim/internal/report"
+)
+
+func main() {
+	x := flag.Int("x", 8, "base design size (a supported multiple of four)")
+	foldover := flag.Bool("foldover", false, "append the foldover rows (Table 3)")
+	example := flag.Bool("example", false, "print the paper's worked effects example (Table 4)")
+	cost := flag.Int("cost", 0, "also print the Table 1 design-cost comparison for N parameters")
+	flag.Parse()
+
+	if *cost > 0 {
+		fmt.Println(report.DesignCost(*cost))
+	}
+	d, err := pb.NewWithSize(*x, *foldover)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbdesign: %v\nsupported sizes: %v\n", err, pb.SupportedSizes())
+		os.Exit(1)
+	}
+	if err := pb.Verify(d); err != nil {
+		fmt.Fprintf(os.Stderr, "pbdesign: internal design verification failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.DesignMatrix(d))
+	if *example {
+		out, err := report.WorkedExample()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbdesign: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

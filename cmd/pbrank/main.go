@@ -1,0 +1,128 @@
+// Command pbrank reproduces Table 9 of the paper: it runs the X=44
+// foldover Plackett-Burman design (88 processor configurations) over
+// the 13-benchmark synthetic suite, ranks every parameter per
+// benchmark by the magnitude of its effect on execution time, and
+// sorts the parameters by their sum of ranks.
+//
+// Usage:
+//
+//	pbrank [-n 100000] [-warmup 30000] [-benchmarks gzip,mcf,...] [-compare] [-gap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pbsim/internal/experiment"
+	"pbsim/internal/methodology"
+	"pbsim/internal/paperdata"
+	"pbsim/internal/pb"
+	"pbsim/internal/report"
+	"pbsim/internal/workload"
+)
+
+func main() {
+	n := flag.Int64("n", experiment.DefaultInstructions, "instructions measured per configuration")
+	warmup := flag.Int64("warmup", experiment.DefaultWarmup, "warmup instructions per configuration")
+	benchList := flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all 13)")
+	compare := flag.Bool("compare", false, "print the measured ordering next to the paper's Table 9 sums")
+	gap := flag.Bool("gap", false, "report the significance gap (the paper's 'first ten parameters' cut)")
+	pov := flag.Bool("pov", false, "print percent-of-variation dominance per benchmark (exposes what ranks hide)")
+	stability := flag.Bool("stability", false, "print leave-one-benchmark-out stability of the ordering")
+	par := flag.Int("par", 0, "parallel simulations (default GOMAXPROCS)")
+	csvRanks := flag.String("csv", "", "also write the rank matrix to this CSV file")
+	csvRaw := flag.String("csv-raw", "", "also write raw per-configuration cycle counts to this CSV file")
+	flag.Parse()
+
+	ws, err := selectWorkloads(*benchList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
+		os.Exit(1)
+	}
+	suite, err := experiment.RunSuite(experiment.Options{
+		Instructions: *n,
+		Warmup:       *warmup,
+		Foldover:     true,
+		Parallelism:  *par,
+		Workloads:    ws,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.RankTable(suite,
+		fmt.Sprintf("Table 9: Plackett and Burman Design Results (X=%d foldover, %d configurations, %d instructions/run)",
+			suite.Design.X, suite.Design.Runs(), *n)))
+	if *compare {
+		fmt.Println(report.RankTableWithPaper(suite, paperdata.Table9,
+			"Measured ordering vs the paper's published Table 9"))
+	}
+	if *gap {
+		cut := pb.SignificanceGap(suite.Sums)
+		fmt.Printf("Significance gap after the top %d parameters (paper: 10).\n", cut)
+	}
+	if *pov {
+		out, err := report.DominanceTable(suite, 5)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if *csvRanks != "" {
+		if err := writeCSV(*csvRanks, suite, experiment.WriteRanksCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *csvRaw != "" {
+		if err := writeCSV(*csvRaw, suite, experiment.WriteResponsesCSV); err != nil {
+			fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *stability {
+		rep, err := methodology.Jackknife(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("Leave-one-benchmark-out stability (position envelope per factor):")
+		for _, fs := range rep.ByFullPosition() {
+			fmt.Printf("  %2d. %-35s positions %d..%d (spread %d)\n",
+				fs.FullPosition, fs.Factor.Name, fs.MinPosition, fs.MaxPosition, fs.Spread)
+		}
+	}
+}
+
+func selectWorkloads(list string) ([]workload.Workload, error) {
+	if list == "" {
+		return nil, nil // all
+	}
+	var ws []workload.Workload
+	for _, name := range strings.Split(list, ",") {
+		w, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
+// writeCSV writes one CSV view of the suite to a file.
+func writeCSV(path string, suite *pb.Suite, fn func(w io.Writer, s *pb.Suite) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fn(f, suite); err != nil {
+		return err
+	}
+	fmt.Println("wrote", path)
+	return f.Close()
+}

@@ -1,0 +1,99 @@
+// Command simrun executes one processor simulation: a chosen synthetic
+// benchmark on a chosen configuration, printing the full statistics
+// report.
+//
+// Usage:
+//
+//	simrun [-bench gzip] [-n 100000] [-warmup 30000] [-config default|all-low|all-high] [-precompute 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pbsim/internal/enhance"
+	"pbsim/internal/pb"
+	"pbsim/internal/report"
+	"pbsim/internal/sim"
+	"pbsim/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "gzip", "benchmark name (or 'all')")
+	n := flag.Int64("n", 100000, "instructions to measure")
+	warmup := flag.Int64("warmup", 30000, "instructions to warm up before measuring")
+	configSel := flag.String("config", "default", "configuration: default, all-low, or all-high")
+	precompute := flag.Int("precompute", 0, "enable instruction precomputation with a table of this many entries")
+	flag.Parse()
+
+	cfg, err := selectConfig(*configSel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "simrun: %v\n", err)
+		os.Exit(1)
+	}
+	names := []string{*bench}
+	if *bench == "all" {
+		names = workload.Names()
+	}
+	for _, name := range names {
+		if err := runOne(name, cfg, *n, *warmup, *precompute); err != nil {
+			fmt.Fprintf(os.Stderr, "simrun: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func selectConfig(sel string) (sim.Config, error) {
+	switch strings.ToLower(sel) {
+	case "default":
+		return sim.Default(), nil
+	case "all-low", "all-high":
+		lv := pb.Low
+		if sel == "all-high" {
+			lv = pb.High
+		}
+		levels := make([]pb.Level, 43)
+		for i := range levels {
+			levels[i] = lv
+		}
+		return sim.ConfigForLevels(levels), nil
+	default:
+		return sim.Config{}, fmt.Errorf("unknown config %q", sel)
+	}
+}
+
+func runOne(name string, cfg sim.Config, n, warmup int64, precompute int) error {
+	w, err := workload.ByName(name)
+	if err != nil {
+		return err
+	}
+	gen, err := w.NewGenerator()
+	if err != nil {
+		return err
+	}
+	var shortcut sim.ComputeShortcut
+	if precompute > 0 {
+		freq, err := enhance.Profile(w.Params, warmup+n)
+		if err != nil {
+			return err
+		}
+		table, err := enhance.NewPrecomputation(freq, precompute)
+		if err != nil {
+			return err
+		}
+		shortcut = table
+	}
+	cpu, err := sim.New(cfg, gen, shortcut)
+	if err != nil {
+		return err
+	}
+	cpu.PrewarmMemory()
+	stats, err := cpu.RunWithWarmup(warmup, n)
+	if err != nil {
+		return err
+	}
+	fmt.Println(report.SimStats(name, stats))
+	return nil
+}

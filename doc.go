@@ -1,0 +1,12 @@
+// Package pbsim reproduces Yi, Lilja and Hawkins, "A Statistically
+// Rigorous Approach for Improving Simulation Methodology" (HPCA 2003):
+// Plackett-Burman experimental designs applied to computer-architecture
+// simulation.
+//
+// The repository root holds the benchmark harness (bench_test.go, one
+// benchmark per paper table); the library lives under internal/ and
+// the runnable tools under cmd/ and examples/. Start with README.md
+// for usage, DESIGN.md for the architecture and the substitutions made
+// for the paper's unavailable artifacts, and EXPERIMENTS.md for
+// measured-versus-published results.
+package pbsim

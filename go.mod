@@ -1,0 +1,3 @@
+module pbsim
+
+go 1.22

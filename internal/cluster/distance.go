@@ -1,0 +1,91 @@
+// Package cluster implements the paper's benchmark-classification
+// method (Section 4.2): each benchmark is represented by the vector of
+// its parameter ranks from a Plackett-Burman experiment, Euclidean
+// distance between rank vectors measures how similarly two benchmarks
+// stress the processor, and thresholding the distance matrix groups
+// similar benchmarks. An agglomerative hierarchical clustering is
+// provided as an extension for threshold-free exploration.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Euclidean returns the Euclidean distance between two equal-length
+// vectors, the paper's similarity measure for benchmark rank vectors.
+func Euclidean(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("cluster: vector lengths differ (%d vs %d)", len(x), len(y))
+	}
+	s := 0.0
+	for i := range x {
+		d := x[i] - y[i]
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// EuclideanInts is Euclidean on integer rank vectors.
+func EuclideanInts(x, y []int) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("cluster: vector lengths differ (%d vs %d)", len(x), len(y))
+	}
+	s := 0.0
+	for i := range x {
+		d := float64(x[i] - y[i])
+		s += d * d
+	}
+	return math.Sqrt(s), nil
+}
+
+// Matrix is a symmetric distance matrix with a zero diagonal, as in
+// Table 10 of the paper.
+type Matrix struct {
+	Names []string
+	D     [][]float64
+}
+
+// DistanceMatrix builds the full pairwise Euclidean distance matrix
+// over benchmark rank vectors. vectors is indexed [benchmark][factor].
+func DistanceMatrix(names []string, vectors [][]int) (*Matrix, error) {
+	if len(names) != len(vectors) {
+		return nil, fmt.Errorf("cluster: %d names but %d vectors", len(names), len(vectors))
+	}
+	n := len(vectors)
+	m := &Matrix{Names: names, D: make([][]float64, n)}
+	for i := range m.D {
+		m.D[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d, err := EuclideanInts(vectors[i], vectors[j])
+			if err != nil {
+				return nil, fmt.Errorf("cluster: benchmarks %s vs %s: %w", names[i], names[j], err)
+			}
+			m.D[i][j] = d
+			m.D[j][i] = d
+		}
+	}
+	return m, nil
+}
+
+// At returns the distance between benchmarks i and j.
+func (m *Matrix) At(i, j int) float64 { return m.D[i][j] }
+
+// Len returns the number of benchmarks.
+func (m *Matrix) Len() int { return len(m.Names) }
+
+// SimilarPairs returns all index pairs (i < j) whose distance is
+// strictly below the threshold: the bold entries of Table 10.
+func (m *Matrix) SimilarPairs(threshold float64) [][2]int {
+	var pairs [][2]int
+	for i := 0; i < m.Len(); i++ {
+		for j := i + 1; j < m.Len(); j++ {
+			if m.D[i][j] < threshold {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import "sort"
+
+// PercentileThreshold returns the distance below which the given
+// fraction of off-diagonal pairs fall. The paper picks its Table 11
+// threshold (sqrt(4000)) by hand; a percentile makes the choice
+// data-driven when distance scales differ (e.g. between the paper's
+// ranks and freshly measured ones).
+func PercentileThreshold(m *Matrix, frac float64) float64 {
+	var ds []float64
+	for i := 0; i < m.Len(); i++ {
+		for j := i + 1; j < m.Len(); j++ {
+			ds = append(ds, m.D[i][j])
+		}
+	}
+	if len(ds) == 0 {
+		return 0
+	}
+	sort.Float64s(ds)
+	if frac <= 0 {
+		return ds[0]
+	}
+	if frac >= 1 {
+		return ds[len(ds)-1]
+	}
+	idx := int(frac * float64(len(ds)))
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
+}
+
+// ThresholdGroups partitions the benchmarks into similarity groups:
+// two benchmarks belong to the same group when they are connected by a
+// chain of pairs whose distance is below the threshold. This is the
+// grouping rule behind Table 11 of the paper (e.g. vpr-Route, parser
+// and bzip2 form one group because route-parser and route-bzip2 and
+// parser-bzip2 distances all fall under the threshold). Groups are
+// returned in order of their smallest member index; members are sorted
+// within each group.
+func ThresholdGroups(m *Matrix, threshold float64) [][]int {
+	n := m.Len()
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, p := range m.SimilarPairs(threshold) {
+		union(p[0], p[1])
+	}
+	buckets := make(map[int][]int)
+	for i := 0; i < n; i++ {
+		r := find(i)
+		buckets[r] = append(buckets[r], i)
+	}
+	roots := make([]int, 0, len(buckets))
+	for r := range buckets {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	groups := make([][]int, 0, len(roots))
+	for _, r := range roots {
+		g := buckets[r]
+		sort.Ints(g)
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// GroupNames maps ThresholdGroups output back to benchmark names.
+func GroupNames(m *Matrix, groups [][]int) [][]string {
+	out := make([][]string, len(groups))
+	for gi, g := range groups {
+		names := make([]string, len(g))
+		for i, idx := range g {
+			names[i] = m.Names[idx]
+		}
+		out[gi] = names
+	}
+	return out
+}
+
+// Representatives picks one benchmark per group: the member with the
+// smallest total distance to the rest of its group (its medoid). This
+// implements the paper's efficiency argument -- simulate one member of
+// each group instead of the whole redundant suite.
+func Representatives(m *Matrix, groups [][]int) []int {
+	reps := make([]int, len(groups))
+	for gi, g := range groups {
+		best, bestSum := g[0], -1.0
+		for _, i := range g {
+			sum := 0.0
+			for _, j := range g {
+				sum += m.At(i, j)
+			}
+			if bestSum < 0 || sum < bestSum {
+				best, bestSum = i, sum
+			}
+		}
+		reps[gi] = best
+	}
+	return reps
+}

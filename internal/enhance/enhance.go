@@ -1,0 +1,171 @@
+// Package enhance implements the microarchitectural enhancement the
+// paper analyzes in Section 4.3 -- instruction precomputation [Yi02-1]
+// -- together with the dynamic value-reuse mechanism [Sodani97] it is
+// contrasted against.
+//
+// Instruction precomputation profiles the program offline, loads the
+// highest-frequency redundant computations into an on-chip table
+// before execution begins, and never updates the table. Value reuse
+// maintains its table dynamically, updating it with the most recent
+// computations. Both expose the sim.ComputeShortcut behaviour: a table
+// hit lets the pipeline skip execution of the instruction.
+package enhance
+
+import (
+	"fmt"
+	"sort"
+
+	"pbsim/internal/trace"
+)
+
+// Precomputation is a static table of redundant-computation
+// identities. It is immutable after construction: Observe is a no-op,
+// matching the paper's "loaded before the program begins execution and
+// never updated".
+type Precomputation struct {
+	table map[uint32]struct{}
+	hits  uint64
+	tries uint64
+}
+
+// NewPrecomputation builds the table from a profiled frequency count:
+// the tableSize most frequent computation identities are loaded.
+func NewPrecomputation(freq map[uint32]uint64, tableSize int) (*Precomputation, error) {
+	if tableSize < 1 {
+		return nil, fmt.Errorf("enhance: table size %d invalid", tableSize)
+	}
+	type kv struct {
+		id uint32
+		n  uint64
+	}
+	all := make([]kv, 0, len(freq))
+	for id, n := range freq {
+		if id != 0 {
+			all = append(all, kv{id, n})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].n != all[b].n {
+			return all[a].n > all[b].n
+		}
+		return all[a].id < all[b].id
+	})
+	if len(all) > tableSize {
+		all = all[:tableSize]
+	}
+	t := make(map[uint32]struct{}, len(all))
+	for _, e := range all {
+		t[e.id] = struct{}{}
+	}
+	return &Precomputation{table: t}, nil
+}
+
+// Profile runs the compiler's profiling pass: it scans n instructions
+// of a fresh stream with the given parameters and counts how often
+// each redundant-computation identity occurs.
+func Profile(params trace.Params, n int64) (map[uint32]uint64, error) {
+	gen, err := trace.NewGenerator(params)
+	if err != nil {
+		return nil, err
+	}
+	freq := make(map[uint32]uint64)
+	for i := int64(0); i < n; i++ {
+		in := gen.Next()
+		if in.CompID != 0 {
+			freq[in.CompID]++
+		}
+	}
+	return freq, nil
+}
+
+// Hit implements sim.ComputeShortcut.
+func (p *Precomputation) Hit(compID uint32) bool {
+	p.tries++
+	if _, ok := p.table[compID]; ok {
+		p.hits++
+		return true
+	}
+	return false
+}
+
+// Observe implements sim.ComputeShortcut; the static table never
+// trains.
+func (p *Precomputation) Observe(uint32) {}
+
+// Size returns the number of loaded identities.
+func (p *Precomputation) Size() int { return len(p.table) }
+
+// HitRate returns hits per lookup.
+func (p *Precomputation) HitRate() float64 {
+	if p.tries == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(p.tries)
+}
+
+// ValueReuse is a dynamic reuse table with LRU replacement: every
+// committed computation trains it, so it adapts to phase behaviour at
+// the cost of hardware that must write the table at runtime.
+type ValueReuse struct {
+	capacity int
+	slots    map[uint32]uint64 // id -> last-use stamp
+	clock    uint64
+	hits     uint64
+	tries    uint64
+}
+
+// NewValueReuse builds an empty dynamic reuse table.
+func NewValueReuse(capacity int) (*ValueReuse, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("enhance: table size %d invalid", capacity)
+	}
+	return &ValueReuse{capacity: capacity, slots: make(map[uint32]uint64, capacity)}, nil
+}
+
+// Hit implements sim.ComputeShortcut: a lookup hit also refreshes the
+// entry's recency.
+func (v *ValueReuse) Hit(compID uint32) bool {
+	v.tries++
+	v.clock++
+	if _, ok := v.slots[compID]; ok {
+		v.slots[compID] = v.clock
+		v.hits++
+		return true
+	}
+	return false
+}
+
+// Observe implements sim.ComputeShortcut: the committed computation is
+// inserted, evicting the least recently used identity when full.
+func (v *ValueReuse) Observe(compID uint32) {
+	if compID == 0 {
+		return
+	}
+	v.clock++
+	if _, ok := v.slots[compID]; ok {
+		v.slots[compID] = v.clock
+		return
+	}
+	if len(v.slots) >= v.capacity {
+		var lruID uint32
+		lruStamp := v.clock + 1
+		for id, stamp := range v.slots {
+			if stamp < lruStamp {
+				lruID, lruStamp = id, stamp
+			}
+		}
+		delete(v.slots, lruID)
+	}
+	v.slots[compID] = v.clock
+}
+
+// Size returns the current number of cached identities.
+func (v *ValueReuse) Size() int { return len(v.slots) }
+
+// HitRate returns hits per lookup.
+func (v *ValueReuse) HitRate() float64 {
+	if v.tries == 0 {
+		return 0
+	}
+	return float64(v.hits) / float64(v.tries)
+}

@@ -1,0 +1,71 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pbsim/internal/pb"
+)
+
+// WriteRanksCSV emits a suite's rank matrix in machine-readable form:
+// one row per factor in sum-of-ranks order with per-benchmark ranks
+// and the sum, mirroring the layout of the paper's Tables 9 and 12.
+func WriteRanksCSV(w io.Writer, suite *pb.Suite) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"parameter"}, suite.Benchmarks...)
+	header = append(header, "sum")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, fi := range suite.Order {
+		row := make([]string, 0, len(header))
+		row = append(row, suite.Factors[fi].Name)
+		for b := range suite.Benchmarks {
+			row = append(row, strconv.Itoa(suite.RankRows[b][fi]))
+		}
+		row = append(row, strconv.Itoa(suite.Sums[fi]))
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteResponsesCSV emits the raw experiment responses: one row per
+// design configuration with its factor levels and the measured cycle
+// count of every benchmark — the complete data underlying a Table 9
+// run, suitable for re-analysis in external statistics tools.
+func WriteResponsesCSV(w io.Writer, suite *pb.Suite) error {
+	for _, res := range suite.Results {
+		if res == nil {
+			return fmt.Errorf("experiment: suite has no per-benchmark results")
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"config"}
+	for _, f := range suite.Factors {
+		header = append(header, f.Name)
+	}
+	header = append(header, suite.Benchmarks...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < suite.Design.Runs(); i++ {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.Itoa(i))
+		for _, lv := range suite.Design.Row(i) {
+			row = append(row, strconv.Itoa(int(lv)))
+		}
+		for b := range suite.Benchmarks {
+			row = append(row, strconv.FormatFloat(suite.Results[b].Responses[i], 'f', 0, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,106 @@
+// Package experiment wires the Plackett-Burman methodology (package
+// pb) to the processor simulator (package sim) and the synthetic
+// benchmark suite (package workload): it is the harness behind
+// Tables 9-12 of the paper.
+package experiment
+
+import (
+	"fmt"
+
+	"pbsim/internal/pb"
+	"pbsim/internal/sim"
+	"pbsim/internal/workload"
+)
+
+// DefaultInstructions is the per-run measured instruction budget used
+// by the command-line tools when none is given. The paper ran each
+// benchmark to completion (0.6-4 G instructions); the synthetic
+// streams reach steady state within tens of thousands.
+const DefaultInstructions = 100000
+
+// DefaultWarmup is the per-run warmup budget: instructions simulated
+// before measurement begins, so that cold-cache compulsory misses do
+// not distort the factor effects.
+const DefaultWarmup = 30000
+
+// ShortcutFactory builds a fresh enhancement instance for one
+// simulation run (runs execute concurrently, so state cannot be
+// shared). A nil factory simulates the unenhanced processor.
+type ShortcutFactory func(w workload.Workload) (sim.ComputeShortcut, error)
+
+// Options configures a suite experiment.
+type Options struct {
+	// Instructions measured per simulation run.
+	Instructions int64
+	// Warmup instructions simulated before measurement; negative
+	// selects DefaultWarmup, zero disables warmup.
+	Warmup int64
+	// Foldover selects the 2X-run design (the paper's X=44 foldover
+	// design with 88 configurations).
+	Foldover bool
+	// Parallelism bounds concurrently simulated configurations
+	// (GOMAXPROCS when 0).
+	Parallelism int
+	// Shortcut optionally enables an enhancement (Table 12).
+	Shortcut ShortcutFactory
+	// Workloads restricts the benchmark suite; nil selects all 13.
+	Workloads []workload.Workload
+}
+
+// Response builds the pb.Response for one workload: each design row is
+// translated to a processor configuration, a fresh CPU simulates the
+// workload's deterministic stream, and the simulated execution time in
+// cycles is the response value.
+func Response(w workload.Workload, warmup, instructions int64, shortcut ShortcutFactory) pb.Response {
+	return func(levels []pb.Level) float64 {
+		cfg := sim.ConfigForLevels(levels)
+		gen, err := w.NewGenerator()
+		if err != nil {
+			panic(fmt.Sprintf("experiment: workload %s: %v", w.Name, err))
+		}
+		var sc sim.ComputeShortcut
+		if shortcut != nil {
+			if sc, err = shortcut(w); err != nil {
+				panic(fmt.Sprintf("experiment: shortcut for %s: %v", w.Name, err))
+			}
+		}
+		cpu, err := sim.New(cfg, gen, sc)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: config for %s: %v", w.Name, err))
+		}
+		cpu.PrewarmMemory()
+		stats, err := cpu.RunWithWarmup(warmup, instructions)
+		if err != nil {
+			panic(fmt.Sprintf("experiment: run %s: %v", w.Name, err))
+		}
+		return float64(stats.Cycles)
+	}
+}
+
+// RunSuite executes the full PB experiment over the benchmark suite
+// and returns per-benchmark ranks plus the sum-of-ranks ordering.
+func RunSuite(opts Options) (*pb.Suite, error) {
+	if opts.Instructions <= 0 {
+		opts.Instructions = DefaultInstructions
+	}
+	if opts.Warmup < 0 {
+		opts.Warmup = DefaultWarmup
+	}
+	ws := opts.Workloads
+	if ws == nil {
+		ws = workload.All()
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("experiment: empty workload list")
+	}
+	names := make([]string, len(ws))
+	responses := make([]pb.Response, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+		responses[i] = Response(w, opts.Warmup, opts.Instructions, opts.Shortcut)
+	}
+	return pb.RunSuite(sim.Factors(), names, responses, pb.Options{
+		Foldover:    opts.Foldover,
+		Parallelism: opts.Parallelism,
+	})
+}

@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"pbsim/internal/enhance"
+	"pbsim/internal/pb"
+	"pbsim/internal/sim"
+	"pbsim/internal/workload"
+)
+
+func TestResponseDeterministic(t *testing.T) {
+	w, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := Response(w, 2000, 4000, nil)
+	design, err := pb.New(41, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := design.Row(0)
+	if a, b := resp(row), resp(row); a != b {
+		t.Errorf("response not deterministic: %g vs %g", a, b)
+	}
+	// The 4-wide machine cannot beat IPC 4.
+	if y := resp(row); y < 1000 {
+		t.Errorf("cycles = %g, below the 4-wide bound", y)
+	}
+}
+
+func TestResponseDependsOnLevels(t *testing.T) {
+	w, _ := workload.ByName("mcf")
+	resp := Response(w, 2000, 4000, nil)
+	low := make([]pb.Level, 43)
+	high := make([]pb.Level, 43)
+	for i := range low {
+		low[i] = pb.Low
+		high[i] = pb.High
+	}
+	yl, yh := resp(low), resp(high)
+	if yh >= yl {
+		t.Errorf("all-high (%g cycles) should beat all-low (%g)", yh, yl)
+	}
+}
+
+func TestRunSuiteSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 88-configuration suite in -short mode")
+	}
+	ws := []workload.Workload{}
+	for _, n := range []string{"gzip", "mcf"} {
+		w, err := workload.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+	}
+	suite, err := RunSuite(Options{
+		Instructions: 3000,
+		Warmup:       2000,
+		Foldover:     true,
+		Workloads:    ws,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.Design.X != 44 || suite.Design.Runs() != 88 {
+		t.Errorf("design %dx%d, want the paper's X=44 foldover", suite.Design.X, suite.Design.Runs())
+	}
+	if len(suite.RankRows) != 2 {
+		t.Fatalf("rank rows = %d", len(suite.RankRows))
+	}
+	if len(suite.Sums) != 43 {
+		t.Fatalf("sums = %d", len(suite.Sums))
+	}
+	// mcf is the most memory-bound workload: its top factors must
+	// include the L2/memory parameters, and the dummy factors must
+	// rank in the bottom half.
+	names := map[string]int{}
+	for i, f := range suite.Factors {
+		names[f.Name] = i
+	}
+	mcfRanks := suite.RankRows[1]
+	memTop := false
+	for _, n := range []string{"L2 Cache Size", "Memory Latency First", "L2 Cache Latency"} {
+		if mcfRanks[names[n]] <= 5 {
+			memTop = true
+		}
+	}
+	if !memTop {
+		t.Errorf("mcf top factors miss the memory system: L2size=%d memlat=%d L2lat=%d",
+			mcfRanks[names["L2 Cache Size"]], mcfRanks[names["Memory Latency First"]], mcfRanks[names["L2 Cache Latency"]])
+	}
+	for _, bench := range suite.RankRows {
+		for _, dummy := range []string{"Dummy Factor #1", "Dummy Factor #2"} {
+			if r := bench[names[dummy]]; r <= 5 {
+				t.Errorf("%s ranks %d: dummy factors must not be top-5", dummy, r)
+			}
+		}
+	}
+}
+
+func TestRunSuiteDefaults(t *testing.T) {
+	// Option defaulting: explicit zero instructions selects the
+	// default, negative warmup selects the default warmup.
+	if _, err := RunSuite(Options{Workloads: []workload.Workload{}}); err == nil {
+		t.Error("empty workload list accepted")
+	}
+}
+
+func TestResponseWithShortcut(t *testing.T) {
+	w, _ := workload.ByName("gzip")
+	factory := func(w workload.Workload) (sim.ComputeShortcut, error) {
+		freq, err := enhance.Profile(w.Params, 20000)
+		if err != nil {
+			return nil, err
+		}
+		return enhance.NewPrecomputation(freq, 128)
+	}
+	base := Response(w, 2000, 5000, nil)
+	enhanced := Response(w, 2000, 5000, factory)
+	levels := make([]pb.Level, 43)
+	for i := range levels {
+		levels[i] = pb.Low
+	}
+	yb, ye := base(levels), enhanced(levels)
+	if ye >= yb {
+		t.Errorf("precomputation did not speed up the run: %g vs %g", ye, yb)
+	}
+}
+
+func TestTable9ShapeFullSuite(t *testing.T) {
+	// Full 13-benchmark, 88-configuration experiment at reduced scale:
+	// the qualitative Table 9 shape must hold.
+	if testing.Short() {
+		t.Skip("full-suite shape test skipped in -short mode")
+	}
+	suite, err := RunSuite(Options{
+		Instructions: 20000,
+		Warmup:       10000,
+		Foldover:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, f := range suite.Order {
+		pos[suite.Factors[f].Name] = i + 1
+	}
+	// The paper's strongest conclusions, which must survive the
+	// synthetic substitution:
+	// 1. ROB and L2 latency are top-5 overall.
+	for _, name := range []string{"Reorder Buffer Entries", "L2 Cache Latency"} {
+		if pos[name] > 5 {
+			t.Errorf("%s at position %d, want top-5", name, pos[name])
+		}
+	}
+	// 2. The memory-system core (L2 size, memory latency) is top-8.
+	for _, name := range []string{"L2 Cache Size", "Memory Latency First"} {
+		if pos[name] > 8 {
+			t.Errorf("%s at position %d, want top-8", name, pos[name])
+		}
+	}
+	// 3. Dummy factors carry no real effect: never top-15.
+	for _, name := range []string{"Dummy Factor #1", "Dummy Factor #2"} {
+		if pos[name] <= 15 {
+			t.Errorf("%s at position %d, dummies must not look significant", name, pos[name])
+		}
+	}
+	// 4. Rare-operation latencies and the RAS sit in the bottom half.
+	for _, name := range []string{"FP Square Root Latency", "Return Address Stack Entries", "Memory Ports"} {
+		if pos[name] <= 21 {
+			t.Errorf("%s at position %d, want bottom half", name, pos[name])
+		}
+	}
+	// 5. Per-benchmark fingerprints: the memory-bound benchmarks rank
+	// L2 size first or second; twolf does not.
+	names := map[string]int{}
+	for i, f := range suite.Factors {
+		names[f.Name] = i
+	}
+	bench := map[string]int{}
+	for i, b := range suite.Benchmarks {
+		bench[b] = i
+	}
+	for _, b := range []string{"art", "mcf"} {
+		if r := suite.RankRows[bench[b]][names["L2 Cache Size"]]; r > 2 {
+			t.Errorf("%s: L2 size rank %d, want <= 2", b, r)
+		}
+	}
+	if r := suite.RankRows[bench["twolf"]][names["L2 Cache Size"]]; r <= 5 {
+		t.Errorf("twolf: L2 size rank %d, its working set fits any L2", r)
+	}
+	// 6. gzip is compute-bound: memory latency is not in its top 15.
+	if r := suite.RankRows[bench["gzip"]][names["Memory Latency First"]]; r <= 15 {
+		t.Errorf("gzip: memory latency rank %d, want > 15", r)
+	}
+}
+
+func TestCSVExports(t *testing.T) {
+	factors := []pb.Factor{{Name: "A"}, {Name: "B"}}
+	resp := func(l []pb.Level) float64 { return 100 + 10*float64(l[0]) }
+	suite, err := pb.RunSuite(factors, []string{"w1"}, []pb.Response{resp}, pb.Options{Foldover: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ranks strings.Builder
+	if err := WriteRanksCSV(&ranks, suite); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(ranks.String()), "\n")
+	if len(lines) != 1+suite.Design.Columns {
+		t.Fatalf("ranks CSV lines = %d", len(lines))
+	}
+	if lines[0] != "parameter,w1,sum" {
+		t.Errorf("ranks header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "A,1,") {
+		t.Errorf("top factor row = %q", lines[1])
+	}
+	var resps strings.Builder
+	if err := WriteResponsesCSV(&resps, suite); err != nil {
+		t.Fatal(err)
+	}
+	rlines := strings.Split(strings.TrimSpace(resps.String()), "\n")
+	if len(rlines) != 1+suite.Design.Runs() {
+		t.Fatalf("responses CSV lines = %d", len(rlines))
+	}
+	if !strings.Contains(rlines[0], "config,A,B") || !strings.HasSuffix(rlines[0], "w1") {
+		t.Errorf("responses header = %q", rlines[0])
+	}
+	// Row 1 has the config index, one level per column, and cycles.
+	fields := strings.Split(rlines[1], ",")
+	if len(fields) != 1+suite.Design.Columns+1 {
+		t.Errorf("responses row width = %d", len(fields))
+	}
+	// A suite without results cannot emit raw responses.
+	bare := *suite
+	bare.Results = make([]*pb.Result, 1)
+	if err := WriteResponsesCSV(&strings.Builder{}, &bare); err == nil {
+		t.Error("suite without results accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package methodology
+
+import (
+	"testing"
+
+	"pbsim/internal/paperdata"
+	"pbsim/internal/pb"
+)
+
+// paperSuite wraps the published Table 9 ranks in a pb.Suite so the
+// stability machinery can run on the paper's own data.
+func paperSuite() *pb.Suite {
+	rows := make([][]int, len(paperdata.Benchmarks))
+	vecs := paperdata.RankVectors(paperdata.Table9)
+	copy(rows, vecs)
+	factors := make([]pb.Factor, len(paperdata.Table9))
+	for i, r := range paperdata.Table9 {
+		factors[i] = pb.Factor{Name: r.Parameter}
+	}
+	// Rank rows are indexed [benchmark][tableRow]; the suite's factor
+	// list uses the same row order.
+	sums := pb.SumOfRanks(rows)
+	return &pb.Suite{
+		Benchmarks: paperdata.Benchmarks,
+		Factors:    factors,
+		RankRows:   rows,
+		Sums:       sums,
+		Order:      pb.OrderBySum(sums),
+	}
+}
+
+func TestJackknifeOnPaperData(t *testing.T) {
+	rep, err := Jackknife(paperSuite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Factors) != 43 {
+		t.Fatalf("%d factors", len(rep.Factors))
+	}
+	byPos := rep.ByFullPosition()
+	// The full-suite ordering starts with the ROB (paper Table 9).
+	if byPos[0].Factor.Name != "Reorder Buffer Entries" {
+		t.Errorf("top factor = %q", byPos[0].Factor.Name)
+	}
+	// Every jackknife envelope must contain the full position.
+	for _, fs := range rep.Factors {
+		if fs.MinPosition > fs.FullPosition || fs.MaxPosition < fs.FullPosition {
+			t.Errorf("%s: envelope [%d,%d] excludes full position %d",
+				fs.Factor.Name, fs.MinPosition, fs.MaxPosition, fs.FullPosition)
+		}
+		if fs.Spread != fs.MaxPosition-fs.MinPosition {
+			t.Errorf("%s: spread inconsistent", fs.Factor.Name)
+		}
+	}
+	// The paper's conclusion that the top two parameters (ROB, L2
+	// latency) are significant "across all benchmarks" implies their
+	// positions cannot hinge on any single benchmark.
+	for _, fs := range byPos[:2] {
+		if fs.Spread > 1 {
+			t.Errorf("%s: top-2 position unstable (spread %d)", fs.Factor.Name, fs.Spread)
+		}
+	}
+	if !rep.TopKStable(2, 1) {
+		t.Error("top-2 should be jackknife-stable on the paper's data")
+	}
+	// An absurdly tight requirement must fail somewhere in the middle
+	// of the table, where ranks genuinely shuffle.
+	if rep.TopKStable(25, 0) {
+		t.Error("mid-table positions should not be perfectly stable")
+	}
+}
+
+func TestJackknifeValidation(t *testing.T) {
+	s := paperSuite()
+	s.RankRows = s.RankRows[:1]
+	if _, err := Jackknife(s); err == nil {
+		t.Error("single-benchmark suite accepted")
+	}
+}

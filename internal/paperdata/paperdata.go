@@ -1,0 +1,186 @@
+// Package paperdata embeds the published results of Yi, Lilja and
+// Hawkins (HPCA 2003) verbatim: the per-benchmark parameter ranks of
+// Table 9 (base processor) and Table 12 (with instruction
+// precomputation), and the benchmark-distance matrix of Table 10.
+// The repository's tests use these to validate the analysis pipeline
+// (ranks -> distances -> groups) against the paper's own numbers, and
+// the experiment harness prints them beside freshly measured values.
+package paperdata
+
+// Benchmarks lists the paper's 13 workloads (Table 5) in table order.
+var Benchmarks = []string{
+	"gzip", "vpr-Place", "vpr-Route", "gcc", "mesa", "art", "mcf",
+	"equake", "ammp", "parser", "vortex", "bzip2", "twolf",
+}
+
+// BenchmarkTypes gives Integer / Floating-Point per benchmark
+// (Table 5).
+var BenchmarkTypes = map[string]string{
+	"gzip": "Integer", "vpr-Place": "Integer", "vpr-Route": "Integer",
+	"gcc": "Integer", "mesa": "Floating-Point", "art": "Floating-Point",
+	"mcf": "Integer", "equake": "Floating-Point", "ammp": "Floating-Point",
+	"parser": "Integer", "vortex": "Integer", "bzip2": "Integer",
+	"twolf": "Integer",
+}
+
+// InstructionsSimulatedM gives Table 5's dynamic instruction counts in
+// millions (MinneSPEC large reduced inputs, run to completion).
+var InstructionsSimulatedM = map[string]float64{
+	"gzip": 1364.2, "vpr-Place": 1521.7, "vpr-Route": 881.1,
+	"gcc": 4040.7, "mesa": 1217.9, "art": 2181.1, "mcf": 601.2,
+	"equake": 713.7, "ammp": 1228.1, "parser": 2721.6,
+	"vortex": 1050.2, "bzip2": 2467.7, "twolf": 764.6,
+}
+
+// RankRow is one parameter row of Table 9 or Table 12.
+type RankRow struct {
+	Parameter string
+	Ranks     [13]int // per benchmark, Benchmarks order
+	Sum       int
+}
+
+// Table9 is the paper's Plackett-Burman ranking of all 43 design
+// columns for the base processor, sorted by sum of ranks.
+var Table9 = []RankRow{
+	{"Reorder Buffer Entries", [13]int{1, 4, 1, 4, 3, 2, 2, 3, 6, 1, 4, 1, 4}, 36},
+	{"L2 Cache Latency", [13]int{4, 2, 4, 2, 2, 4, 4, 2, 13, 3, 2, 8, 2}, 52},
+	{"BPred Type", [13]int{2, 5, 3, 5, 5, 27, 11, 6, 4, 4, 16, 7, 5}, 100},
+	{"Int ALUs", [13]int{3, 7, 5, 8, 4, 29, 8, 9, 19, 6, 9, 2, 9}, 118},
+	{"L1 D-Cache Latency", [13]int{7, 6, 7, 7, 12, 8, 14, 5, 40, 7, 5, 6, 6}, 130},
+	{"L1 I-Cache Size", [13]int{6, 1, 12, 1, 1, 12, 37, 1, 36, 8, 1, 16, 1}, 133},
+	{"L2 Cache Size", [13]int{9, 35, 2, 6, 21, 1, 1, 7, 2, 2, 6, 3, 43}, 138},
+	{"L1 I-Cache Block Size", [13]int{16, 3, 20, 3, 16, 10, 32, 4, 10, 11, 3, 22, 3}, 153},
+	{"Memory Latency First", [13]int{36, 25, 6, 9, 23, 3, 3, 8, 1, 5, 8, 5, 28}, 160},
+	{"LSQ Entries", [13]int{12, 14, 9, 10, 13, 39, 10, 10, 17, 9, 7, 4, 10}, 164},
+	{"Speculative Branch Update", [13]int{8, 17, 23, 28, 7, 16, 39, 12, 8, 20, 22, 20, 17}, 237},
+	{"D-TLB Size", [13]int{20, 28, 11, 23, 29, 13, 12, 11, 25, 14, 25, 11, 24}, 246},
+	{"L1 D-Cache Size", [13]int{18, 8, 10, 12, 39, 18, 9, 36, 32, 21, 12, 31, 7}, 253},
+	{"L1 I-Cache Associativity", [13]int{5, 40, 15, 29, 8, 34, 23, 28, 16, 17, 15, 9, 21}, 260},
+	{"FP Multiply Latency", [13]int{31, 12, 22, 11, 19, 24, 15, 23, 24, 29, 14, 23, 19}, 266},
+	{"Memory Bandwidth", [13]int{37, 36, 13, 14, 43, 6, 6, 29, 3, 12, 19, 12, 38}, 268},
+	{"Int ALU Latencies", [13]int{15, 15, 18, 13, 41, 22, 33, 14, 30, 16, 41, 10, 16}, 284},
+	{"BTB Entries", [13]int{10, 24, 19, 20, 9, 42, 31, 20, 22, 19, 20, 17, 34}, 287},
+	{"L1 D-Cache Block Size", [13]int{17, 29, 34, 22, 15, 9, 24, 19, 28, 13, 32, 28, 26}, 296},
+	{"Int Divide Latency", [13]int{29, 10, 26, 16, 24, 32, 41, 32, 20, 10, 10, 43, 8}, 301},
+	{"Int Mult/Div", [13]int{14, 20, 29, 31, 10, 23, 27, 24, 33, 36, 18, 26, 15}, 306},
+	{"L2 Cache Associativity", [13]int{23, 19, 14, 19, 32, 28, 5, 39, 37, 18, 42, 21, 12}, 309},
+	{"I-TLB Latency", [13]int{33, 18, 24, 18, 37, 30, 30, 16, 21, 32, 11, 29, 18}, 317},
+	{"Instruction Fetch Queue Entries", [13]int{43, 13, 27, 30, 26, 20, 18, 37, 9, 25, 23, 34, 14}, 319},
+	{"BPred Misprediction Penalty", [13]int{11, 23, 42, 21, 6, 43, 20, 34, 11, 22, 39, 37, 23}, 332},
+	{"FP ALUs", [13]int{34, 11, 31, 15, 34, 17, 40, 22, 26, 37, 13, 42, 13}, 335},
+	{"FP Divide Latency", [13]int{22, 9, 35, 17, 30, 21, 38, 15, 43, 38, 17, 39, 11}, 335},
+	{"I-TLB Page Size", [13]int{42, 39, 8, 37, 36, 40, 7, 17, 12, 26, 28, 14, 39}, 345},
+	{"L1 D-Cache Associativity", [13]int{13, 38, 17, 34, 18, 41, 34, 33, 14, 15, 35, 15, 42}, 349},
+	{"I-TLB Associativity", [13]int{24, 27, 37, 25, 17, 31, 42, 13, 29, 30, 21, 33, 22}, 351},
+	{"L2 Cache Block Size", [13]int{25, 43, 16, 38, 31, 7, 35, 27, 7, 35, 38, 13, 40}, 355},
+	{"BTB Associativity", [13]int{21, 21, 36, 32, 11, 33, 17, 31, 34, 43, 27, 35, 25}, 366},
+	{"D-TLB Associativity", [13]int{40, 32, 25, 26, 22, 35, 26, 26, 18, 33, 26, 30, 35}, 374},
+	{"FP ALU Latencies", [13]int{32, 16, 38, 41, 38, 11, 22, 30, 23, 27, 30, 40, 29}, 377},
+	{"Memory Ports", [13]int{39, 31, 41, 24, 27, 15, 16, 41, 5, 42, 29, 41, 27}, 378},
+	{"I-TLB Size", [13]int{35, 34, 28, 35, 20, 37, 19, 18, 31, 34, 34, 27, 31}, 383},
+	{"Dummy Factor #2", [13]int{27, 42, 21, 39, 35, 14, 13, 35, 41, 28, 43, 18, 30}, 386},
+	{"FP Mult/Div", [13]int{41, 22, 43, 40, 40, 19, 28, 38, 27, 31, 31, 19, 20}, 399},
+	{"Int Multiply Latency", [13]int{30, 41, 39, 36, 14, 26, 29, 21, 15, 41, 37, 32, 41}, 402},
+	{"FP Square Root Latency", [13]int{38, 30, 40, 33, 33, 5, 25, 42, 42, 24, 24, 38, 37}, 411},
+	{"L1 I-Cache Latency", [13]int{26, 26, 32, 42, 28, 38, 21, 40, 38, 40, 36, 25, 33}, 425},
+	{"Return Address Stack Entries", [13]int{28, 33, 33, 27, 42, 25, 36, 25, 39, 39, 33, 36, 32}, 428},
+	{"Dummy Factor #1", [13]int{19, 37, 30, 43, 25, 36, 43, 43, 35, 23, 40, 24, 36}, 434},
+}
+
+// Table12 is Table 9's counterpart with a 128-entry instruction
+// precomputation table enabled.
+var Table12 = []RankRow{
+	{"RUU Entries", [13]int{1, 4, 1, 4, 3, 2, 2, 3, 6, 1, 4, 1, 4}, 36},
+	{"L2 Cache Latency", [13]int{4, 2, 4, 2, 2, 4, 4, 2, 13, 3, 2, 8, 2}, 52},
+	{"BPred Type", [13]int{2, 5, 3, 5, 5, 28, 11, 8, 4, 4, 16, 7, 5}, 103},
+	{"L1 D-Cache Latency", [13]int{7, 6, 5, 7, 11, 8, 14, 5, 40, 7, 5, 4, 6}, 125},
+	{"L1 I-Cache Size", [13]int{5, 1, 12, 1, 1, 12, 38, 1, 36, 8, 1, 15, 1}, 132},
+	{"Int ALUs", [13]int{6, 8, 8, 9, 8, 29, 9, 13, 20, 6, 9, 3, 9}, 137},
+	{"L2 Cache Size", [13]int{9, 35, 2, 6, 22, 1, 1, 6, 2, 2, 6, 2, 43}, 137},
+	{"L1 I-Cache Block Size", [13]int{15, 3, 20, 3, 14, 10, 32, 4, 10, 11, 3, 20, 3}, 148},
+	{"Memory Latency First", [13]int{35, 25, 6, 8, 18, 3, 3, 7, 1, 5, 7, 6, 27}, 151},
+	{"LSQ Entries", [13]int{13, 14, 9, 10, 15, 40, 10, 9, 17, 9, 8, 5, 10}, 169},
+	{"D-TLB Size", [13]int{21, 28, 11, 24, 25, 13, 12, 10, 25, 14, 25, 10, 24}, 242},
+	{"Speculative Branch Update", [13]int{8, 20, 25, 29, 7, 16, 39, 11, 8, 20, 21, 22, 19}, 245},
+	{"L1 I-Cache Associativity", [13]int{3, 41, 15, 28, 6, 34, 23, 28, 16, 17, 11, 9, 21}, 252},
+	{"L1 D-Cache Size", [13]int{18, 7, 10, 12, 42, 19, 8, 35, 32, 21, 13, 32, 7}, 256},
+	{"FP Multiply Latency", [13]int{31, 12, 22, 11, 19, 24, 15, 22, 24, 28, 14, 24, 18}, 264},
+	{"Memory Bandwidth", [13]int{33, 36, 13, 14, 43, 6, 6, 31, 3, 12, 20, 11, 38}, 266},
+	{"BTB Entries", [13]int{10, 23, 19, 20, 9, 41, 31, 20, 22, 19, 19, 16, 34}, 283},
+	{"Int ALU Latencies", [13]int{16, 15, 18, 13, 40, 22, 33, 14, 31, 16, 41, 12, 16}, 287},
+	{"L1 D-Cache Block Size", [13]int{17, 30, 34, 22, 16, 9, 24, 19, 26, 13, 33, 25, 26}, 294},
+	{"Int Divide Latency", [13]int{30, 10, 26, 17, 24, 33, 40, 33, 19, 10, 10, 41, 8}, 301},
+	{"L2 Cache Associativity", [13]int{23, 19, 14, 19, 33, 27, 5, 39, 37, 18, 42, 21, 12}, 309},
+	{"Int Mult/Div", [13]int{14, 21, 30, 31, 12, 23, 27, 23, 33, 37, 18, 27, 15}, 311},
+	{"I-TLB Latency", [13]int{32, 17, 24, 18, 34, 30, 30, 16, 21, 33, 12, 29, 17}, 313},
+	{"Instruction Fetch Queue Entries", [13]int{43, 13, 27, 30, 23, 20, 19, 37, 9, 25, 23, 34, 14}, 317},
+	{"BPred Misprediction Penalty", [13]int{11, 24, 41, 21, 4, 43, 20, 32, 11, 22, 39, 35, 23}, 326},
+	{"FP Divide Latency", [13]int{20, 9, 36, 16, 28, 21, 37, 15, 43, 38, 17, 38, 11}, 329},
+	{"FP ALUs", [13]int{34, 11, 31, 15, 38, 17, 41, 24, 27, 36, 15, 43, 13}, 345},
+	{"I-TLB Page Size", [13]int{42, 38, 7, 38, 39, 39, 7, 17, 12, 26, 28, 14, 39}, 346},
+	{"L1 D-Cache Associativity", [13]int{12, 39, 17, 35, 17, 42, 34, 34, 14, 15, 36, 17, 42}, 354},
+	{"L2 Cache Block Size", [13]int{25, 43, 16, 37, 31, 7, 35, 27, 7, 35, 38, 13, 40}, 354},
+	{"I-TLB Associativity", [13]int{26, 27, 38, 25, 20, 31, 42, 12, 29, 30, 22, 33, 22}, 357},
+	{"BTB Associativity", [13]int{22, 18, 35, 32, 10, 32, 17, 30, 34, 43, 27, 36, 25}, 361},
+	{"D-TLB Associativity", [13]int{40, 32, 23, 26, 27, 35, 25, 26, 18, 32, 26, 28, 35}, 373},
+	{"Memory Ports", [13]int{39, 31, 39, 23, 26, 15, 16, 40, 5, 42, 30, 40, 29}, 375},
+	{"FP ALU Latencies", [13]int{37, 16, 37, 41, 37, 11, 21, 29, 23, 27, 29, 42, 28}, 378},
+	{"I-TLB Size", [13]int{36, 34, 28, 34, 21, 37, 18, 18, 30, 34, 34, 30, 32}, 386},
+	{"Dummy Factor #2", [13]int{28, 42, 21, 39, 32, 14, 13, 36, 42, 29, 43, 18, 30}, 387},
+	{"Int Multiply Latency", [13]int{29, 40, 42, 36, 13, 26, 29, 21, 15, 41, 35, 31, 41}, 399},
+	{"FP Mult/Div", [13]int{41, 22, 43, 40, 41, 18, 28, 38, 28, 31, 31, 19, 20}, 400},
+	{"FP Square Root Latency", [13]int{38, 29, 40, 33, 35, 5, 26, 43, 41, 24, 24, 39, 37}, 414},
+	{"Return Address Stack Entries", [13]int{27, 33, 33, 27, 36, 25, 36, 25, 39, 40, 32, 37, 31}, 421},
+	{"L1 I-Cache Latency", [13]int{24, 26, 32, 42, 29, 38, 22, 41, 38, 39, 37, 26, 33}, 427},
+	{"Dummy Factor #1", [13]int{19, 37, 29, 43, 30, 36, 43, 42, 35, 23, 40, 23, 36}, 436},
+}
+
+// Table10 is the paper's benchmark distance matrix (upper triangle
+// listed row-major, Benchmarks order), rounded to one decimal as
+// printed.
+var Table10 = [13][13]float64{
+	{0, 89.8, 81.1, 81.9, 62.0, 113.5, 109.6, 79.5, 111.7, 73.6, 92.0, 78.1, 85.5},
+	{89.8, 0, 98.9, 63.7, 94.0, 102.8, 110.9, 84.7, 118.1, 89.7, 68.5, 111.4, 35.2},
+	{81.1, 98.9, 0, 71.7, 98.5, 100.4, 75.5, 73.3, 91.7, 56.4, 79.2, 45.7, 96.6},
+	{81.9, 63.7, 71.7, 0, 90.9, 92.6, 94.5, 63.6, 98.5, 65.0, 54.6, 88.8, 67.3},
+	{62.0, 94.0, 98.5, 90.9, 0, 120.9, 109.9, 81.8, 100.2, 88.9, 87.8, 94.1, 91.7},
+	{113.5, 102.8, 100.4, 92.6, 120.9, 0, 98.6, 96.3, 105.2, 94.4, 92.7, 102.5, 105.2},
+	{109.6, 110.9, 75.5, 94.5, 109.9, 98.6, 0, 104.9, 94.8, 87.6, 101.3, 80.0, 111.1},
+	{79.5, 84.7, 73.3, 63.6, 81.8, 96.3, 104.9, 0, 98.4, 77.1, 67.8, 76.1, 86.5},
+	{111.7, 118.1, 91.7, 98.5, 100.2, 105.2, 94.8, 98.4, 0, 91.1, 98.8, 92.7, 120.0},
+	{73.6, 89.7, 56.4, 65.0, 88.9, 94.4, 87.6, 77.1, 91.1, 0, 77.4, 62.9, 89.7},
+	{92.0, 68.5, 79.2, 54.6, 87.8, 92.7, 101.3, 67.8, 98.8, 77.4, 0, 94.8, 73.1},
+	{78.1, 111.4, 45.7, 88.8, 94.1, 102.5, 80.0, 76.1, 92.7, 62.9, 94.8, 0, 107.9},
+	{85.5, 35.2, 96.6, 67.3, 91.7, 105.2, 111.1, 86.5, 120.0, 89.7, 73.1, 107.9, 0},
+}
+
+// Table11Groups is the paper's benchmark grouping at the threshold
+// sqrt(4000) ~ 63.2.
+var Table11Groups = [][]string{
+	{"gzip", "mesa"},
+	{"vpr-Place", "twolf"},
+	{"vpr-Route", "parser", "bzip2"},
+	{"gcc", "vortex"},
+	{"art"},
+	{"mcf"},
+	{"equake"},
+	{"ammp"},
+}
+
+// Threshold is the similarity threshold used for Table 11.
+const Threshold = 63.245553203367585 // sqrt(4000)
+
+// RankVectors returns the table's ranks re-indexed as
+// [benchmark][parameter-row], the orientation used for distance
+// computation.
+func RankVectors(table []RankRow) [][]int {
+	out := make([][]int, len(Benchmarks))
+	for b := range out {
+		vec := make([]int, len(table))
+		for p, row := range table {
+			vec[p] = row.Ranks[b]
+		}
+		out[b] = vec
+	}
+	return out
+}

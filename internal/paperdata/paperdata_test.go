@@ -1,0 +1,96 @@
+package paperdata
+
+import "testing"
+
+func TestTableSumsMatchPublishedSums(t *testing.T) {
+	for _, table := range [][]RankRow{Table9, Table12} {
+		for _, row := range table {
+			sum := 0
+			for _, r := range row.Ranks {
+				sum += r
+			}
+			if sum != row.Sum {
+				t.Errorf("%s: ranks sum to %d, published sum is %d", row.Parameter, sum, row.Sum)
+			}
+		}
+	}
+}
+
+func TestTablesHave43Rows(t *testing.T) {
+	if len(Table9) != 43 {
+		t.Errorf("Table9 has %d rows, want 43", len(Table9))
+	}
+	if len(Table12) != 43 {
+		t.Errorf("Table12 has %d rows, want 43", len(Table12))
+	}
+}
+
+func TestBenchmarkColumnsArePermutations(t *testing.T) {
+	for ti, table := range [][]RankRow{Table9, Table12} {
+		for b, name := range Benchmarks {
+			seen := make([]bool, len(table)+1)
+			for _, row := range table {
+				r := row.Ranks[b]
+				if r < 1 || r > len(table) {
+					t.Fatalf("table %d, %s: rank %d out of range in row %s", ti, name, r, row.Parameter)
+				}
+				if seen[r] {
+					t.Errorf("table %d, %s: rank %d appears twice", ti, name, r)
+				}
+				seen[r] = true
+			}
+		}
+	}
+}
+
+func TestSumsAreNonDecreasing(t *testing.T) {
+	for ti, table := range [][]RankRow{Table9, Table12} {
+		for i := 1; i < len(table); i++ {
+			if table[i].Sum < table[i-1].Sum {
+				t.Errorf("table %d: sum order violated at %s (%d < %d)", ti, table[i].Parameter, table[i].Sum, table[i-1].Sum)
+			}
+		}
+	}
+}
+
+func TestTable10IsSymmetricWithZeroDiagonal(t *testing.T) {
+	for i := 0; i < 13; i++ {
+		if Table10[i][i] != 0 {
+			t.Errorf("diagonal (%d,%d) = %g", i, i, Table10[i][i])
+		}
+		for j := 0; j < 13; j++ {
+			if Table10[i][j] != Table10[j][i] {
+				t.Errorf("asymmetry at (%d,%d): %g vs %g", i, j, Table10[i][j], Table10[j][i])
+			}
+		}
+	}
+}
+
+func TestRankVectors(t *testing.T) {
+	vecs := RankVectors(Table9)
+	if len(vecs) != 13 {
+		t.Fatalf("got %d vectors", len(vecs))
+	}
+	// gzip's rank for "Reorder Buffer Entries" (row 0) is 1; twolf's
+	// rank for "L2 Cache Size" (row 6) is 43.
+	if vecs[0][0] != 1 {
+		t.Errorf("gzip ROB rank = %d, want 1", vecs[0][0])
+	}
+	if vecs[12][6] != 43 {
+		t.Errorf("twolf L2-size rank = %d, want 43", vecs[12][6])
+	}
+}
+
+func TestRosterConsistency(t *testing.T) {
+	if len(Benchmarks) != 13 {
+		t.Fatalf("%d benchmarks", len(Benchmarks))
+	}
+	for _, b := range Benchmarks {
+		if _, ok := BenchmarkTypes[b]; !ok {
+			t.Errorf("missing type for %s", b)
+		}
+		if _, ok := InstructionsSimulatedM[b]; !ok {
+			t.Errorf("missing instruction count for %s", b)
+		}
+	}
+}

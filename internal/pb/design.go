@@ -1,0 +1,236 @@
+// Package pb implements Plackett-Burman two-level fractional
+// multifactorial experimental designs, the statistical core of Yi,
+// Lilja and Hawkins, "A Statistically Rigorous Approach for Improving
+// Simulation Methodology" (HPCA 2003).
+//
+// A Plackett-Burman (PB) design estimates the main effect of N
+// two-level factors in only X runs, where X is the next multiple of
+// four greater than N. The optional foldover doubles the run count to
+// 2X and frees the main-effect estimates from aliasing with two-factor
+// interactions.
+//
+// Design matrices are built from the classical Plackett-Burman (1946)
+// cyclic generator rows. For run sizes X where X-1 is a prime p with
+// p = 3 (mod 4), the generator row is produced by the Paley
+// quadratic-residue construction with the indexing
+//
+//	row[j] = +1  iff  (p+1-j) mod p is not a quadratic residue of p
+//
+// which reproduces the published rows exactly (verified for
+// X = 8, 12, 20 and 24 against the 1946 paper and standard design-of-
+// experiments references). The remaining published cyclic sizes
+// (X = 16 and 36, where X-1 is not prime) are hard-coded. Sizes with
+// no cyclic construction (X = 28, 40) are skipped; New rounds the run
+// count up to the next supported size instead, which costs a few extra
+// runs but never loses resolution.
+package pb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Level is a factor setting in a design row: +1 selects the factor's
+// high value and -1 its low value.
+type Level int8
+
+// Levels of a two-level factor.
+const (
+	High Level = +1
+	Low  Level = -1
+)
+
+// String returns the conventional "+1" / "-1" rendering.
+func (l Level) String() string {
+	if l >= 0 {
+		return "+1"
+	}
+	return "-1"
+}
+
+// MaxFactors is the largest number of factors New supports. It covers
+// every design used in the paper (the largest is 43 factors, X = 44)
+// with headroom.
+const MaxFactors = 83
+
+// generator16 and generator36 are the classical published first rows
+// for the two supported run sizes whose X-1 is not prime.
+var (
+	generator16 = "++++-+-++--+---"
+	generator36 = "-+-+++---+++++-+++--+----+-+-++--+-"
+)
+
+// supportedSizes lists the cyclic run sizes this package can build, in
+// ascending order.
+var supportedSizes = []int{4, 8, 12, 16, 20, 24, 32, 36, 44, 48, 60, 68, 72, 80, 84}
+
+// Design is a Plackett-Burman design matrix, optionally folded over.
+// Rows are simulation configurations; columns are factors. When the
+// number of real factors is smaller than Columns, the trailing columns
+// act as dummy factors whose estimated effects measure experimental
+// noise.
+type Design struct {
+	// X is the base run count (a multiple of four).
+	X int
+	// Columns is the number of factor columns, always X-1.
+	Columns int
+	// Foldover reports whether the mirrored rows are appended,
+	// doubling Runs from X to 2X.
+	Foldover bool
+	// Matrix holds the rows of factor levels. len(Matrix) == Runs();
+	// len(Matrix[i]) == Columns.
+	Matrix [][]Level
+}
+
+// Runs returns the number of simulation configurations in the design:
+// X without foldover, 2X with.
+func (d *Design) Runs() int { return len(d.Matrix) }
+
+// Row returns the i-th configuration of the design. The returned slice
+// aliases the design matrix and must not be modified.
+func (d *Design) Row(i int) []Level { return d.Matrix[i] }
+
+// ErrTooManyFactors is returned when the requested factor count
+// exceeds MaxFactors.
+var ErrTooManyFactors = errors.New("pb: too many factors")
+
+// New constructs the smallest supported Plackett-Burman design with at
+// least numFactors factor columns. With foldover, the X mirrored rows
+// are appended after the base rows exactly as in Table 3 of the paper.
+func New(numFactors int, foldover bool) (*Design, error) {
+	if numFactors < 1 {
+		return nil, fmt.Errorf("pb: numFactors must be >= 1, got %d", numFactors)
+	}
+	if numFactors > MaxFactors {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyFactors, numFactors, MaxFactors)
+	}
+	x, err := RunSize(numFactors)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithSize(x, foldover)
+}
+
+// RunSize returns the smallest supported base run count X whose X-1
+// columns can hold numFactors factors. Per the paper this is "the next
+// multiple of four greater than N", except that the two sizes with no
+// cyclic construction (28 and 40) are rounded up.
+func RunSize(numFactors int) (int, error) {
+	for _, x := range supportedSizes {
+		if x-1 >= numFactors {
+			return x, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: no supported design size for %d factors", ErrTooManyFactors, numFactors)
+}
+
+// NewWithSize constructs the design with exactly the given base run
+// count X, which must be one of the supported cyclic sizes.
+func NewWithSize(x int, foldover bool) (*Design, error) {
+	gen, err := generatorRow(x)
+	if err != nil {
+		return nil, err
+	}
+	cols := x - 1
+	rows := x
+	if foldover {
+		rows = 2 * x
+	}
+	// One backing array keeps the matrix cache-friendly.
+	backing := make([]Level, rows*cols)
+	matrix := make([][]Level, rows)
+	for i := range matrix {
+		matrix[i] = backing[i*cols : (i+1)*cols]
+	}
+	// First row is the generator; the next X-2 rows are successive
+	// circular right shifts; row X is all -1.
+	copy(matrix[0], gen)
+	for i := 1; i < x-1; i++ {
+		prev := matrix[i-1]
+		cur := matrix[i]
+		cur[0] = prev[cols-1]
+		copy(cur[1:], prev[:cols-1])
+	}
+	for j := 0; j < cols; j++ {
+		matrix[x-1][j] = Low
+	}
+	if foldover {
+		for i := 0; i < x; i++ {
+			for j := 0; j < cols; j++ {
+				matrix[x+i][j] = -matrix[i][j]
+			}
+		}
+	}
+	return &Design{X: x, Columns: cols, Foldover: foldover, Matrix: matrix}, nil
+}
+
+// generatorRow returns the first row of the cyclic design of base size
+// x as X-1 levels.
+func generatorRow(x int) ([]Level, error) {
+	switch x {
+	case 16:
+		return parseRow(generator16), nil
+	case 36:
+		return parseRow(generator36), nil
+	}
+	p := x - 1
+	if !isPrime(p) || p%4 != 3 {
+		return nil, fmt.Errorf("pb: unsupported design size X=%d (X-1 must be prime congruent to 3 mod 4, or X in {16, 36})", x)
+	}
+	qr := quadraticResidues(p)
+	row := make([]Level, p)
+	for j := 1; j <= p; j++ {
+		// Classical Plackett-Burman indexing of the Paley row; see the
+		// package comment. Index 0 counts as a non-residue.
+		idx := (p + 1 - j) % p
+		if qr[idx] {
+			row[j-1] = Low
+		} else {
+			row[j-1] = High
+		}
+	}
+	return row, nil
+}
+
+// parseRow converts a "+-" string into levels.
+func parseRow(s string) []Level {
+	row := make([]Level, len(s))
+	for i, c := range s {
+		if c == '+' {
+			row[i] = High
+		} else {
+			row[i] = Low
+		}
+	}
+	return row
+}
+
+// quadraticResidues returns a table t where t[v] reports whether v is
+// a nonzero quadratic residue modulo the prime p.
+func quadraticResidues(p int) []bool {
+	t := make([]bool, p)
+	for v := 1; v < p; v++ {
+		t[v*v%p] = true
+	}
+	return t
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SupportedSizes returns the base run sizes this package can
+// construct, in ascending order. The slice is a copy.
+func SupportedSizes() []int {
+	out := make([]int, len(supportedSizes))
+	copy(out, supportedSizes)
+	return out
+}

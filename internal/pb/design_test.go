@@ -1,0 +1,197 @@
+package pb
+
+import (
+	"strings"
+	"testing"
+)
+
+// table2 is the Plackett and Burman design matrix for X=8 exactly as
+// printed in Table 2 of the paper.
+var table2 = [][]Level{
+	{+1, +1, +1, -1, +1, -1, -1},
+	{-1, +1, +1, +1, -1, +1, -1},
+	{-1, -1, +1, +1, +1, -1, +1},
+	{+1, -1, -1, +1, +1, +1, -1},
+	{-1, +1, -1, -1, +1, +1, +1},
+	{+1, -1, +1, -1, -1, +1, +1},
+	{+1, +1, -1, +1, -1, -1, +1},
+	{-1, -1, -1, -1, -1, -1, -1},
+}
+
+func TestDesignX8MatchesPaperTable2(t *testing.T) {
+	d, err := NewWithSize(8, false)
+	if err != nil {
+		t.Fatalf("NewWithSize(8): %v", err)
+	}
+	if d.Runs() != 8 || d.Columns != 7 {
+		t.Fatalf("got %d runs x %d cols, want 8x7", d.Runs(), d.Columns)
+	}
+	for i := range table2 {
+		for j := range table2[i] {
+			if d.Matrix[i][j] != table2[i][j] {
+				t.Errorf("matrix[%d][%d] = %v, want %v", i, j, d.Matrix[i][j], table2[i][j])
+			}
+		}
+	}
+}
+
+func TestFoldoverX8MatchesPaperTable3(t *testing.T) {
+	d, err := NewWithSize(8, true)
+	if err != nil {
+		t.Fatalf("NewWithSize(8, foldover): %v", err)
+	}
+	if d.Runs() != 16 {
+		t.Fatalf("foldover runs = %d, want 16", d.Runs())
+	}
+	// The first 8 rows are Table 2 (the shaded part of Table 3)...
+	for i := range table2 {
+		for j := range table2[i] {
+			if d.Matrix[i][j] != table2[i][j] {
+				t.Errorf("base matrix[%d][%d] = %v, want %v", i, j, d.Matrix[i][j], table2[i][j])
+			}
+		}
+	}
+	// ...and rows 8..15 are their sign mirrors.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 7; j++ {
+			if d.Matrix[8+i][j] != -table2[i][j] {
+				t.Errorf("foldover matrix[%d][%d] = %v, want %v", 8+i, j, d.Matrix[8+i][j], -table2[i][j])
+			}
+		}
+	}
+}
+
+func TestAllSupportedSizesVerify(t *testing.T) {
+	for _, x := range SupportedSizes() {
+		for _, fold := range []bool{false, true} {
+			d, err := NewWithSize(x, fold)
+			if err != nil {
+				t.Fatalf("NewWithSize(%d, %v): %v", x, fold, err)
+			}
+			if err := Verify(d); err != nil {
+				t.Errorf("X=%d foldover=%v: %v", x, fold, err)
+			}
+		}
+	}
+}
+
+func TestClassicalGeneratorRows(t *testing.T) {
+	// First rows as published by Plackett and Burman (1946) and
+	// reproduced in standard design-of-experiments references.
+	want := map[int]string{
+		4:  "++-",
+		8:  "+++-+--",
+		12: "++-+++---+-",
+		16: "++++-+-++--+---",
+		20: "++--++++-+-+----++-",
+		24: "+++++-+-++--++--+-+----",
+		36: "-+-+++---+++++-+++--+----+-+-++--+-",
+	}
+	for x, s := range want {
+		row, err := generatorRow(x)
+		if err != nil {
+			t.Fatalf("generatorRow(%d): %v", x, err)
+		}
+		var b strings.Builder
+		for _, lv := range row {
+			if lv == High {
+				b.WriteByte('+')
+			} else {
+				b.WriteByte('-')
+			}
+		}
+		if b.String() != s {
+			t.Errorf("generator for X=%d:\n got %s\nwant %s", x, b.String(), s)
+		}
+	}
+}
+
+func TestRunSize(t *testing.T) {
+	cases := []struct {
+		factors int
+		want    int
+	}{
+		{1, 4}, {3, 4}, {4, 8}, {7, 8}, {8, 12}, {11, 12}, {12, 16},
+		{19, 20}, {20, 24}, {23, 24},
+		// 24..27 factors would classically use X=28, which has no
+		// cyclic construction; we round up to 32.
+		{24, 32}, {27, 32}, {31, 32}, {32, 36}, {35, 36},
+		// 36..39 factors round up past the non-cyclic X=40 to 44.
+		{36, 44}, {43, 44}, {44, 48}, {47, 48}, {48, 60},
+	}
+	for _, c := range cases {
+		got, err := RunSize(c.factors)
+		if err != nil {
+			t.Fatalf("RunSize(%d): %v", c.factors, err)
+		}
+		if got != c.want {
+			t.Errorf("RunSize(%d) = %d, want %d", c.factors, got, c.want)
+		}
+	}
+}
+
+func TestPaperX44Design(t *testing.T) {
+	// The paper's Table 9 uses an X=44 foldover design: 88 runs and 43
+	// factor columns (41 parameters + 2 dummies).
+	d, err := New(43, true)
+	if err != nil {
+		t.Fatalf("New(43, foldover): %v", err)
+	}
+	if d.X != 44 {
+		t.Errorf("X = %d, want 44", d.X)
+	}
+	if d.Runs() != 88 {
+		t.Errorf("runs = %d, want 88", d.Runs())
+	}
+	if d.Columns != 43 {
+		t.Errorf("columns = %d, want 43", d.Columns)
+	}
+	if err := Verify(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(0, false); err == nil {
+		t.Error("New(0) should fail")
+	}
+	if _, err := New(-3, false); err == nil {
+		t.Error("New(-3) should fail")
+	}
+	if _, err := New(MaxFactors+1, false); err == nil {
+		t.Error("New(MaxFactors+1) should fail")
+	}
+	if _, err := NewWithSize(28, false); err == nil {
+		t.Error("NewWithSize(28) should fail: no cyclic construction exists")
+	}
+	if _, err := NewWithSize(40, false); err == nil {
+		t.Error("NewWithSize(40) should fail: no cyclic construction exists")
+	}
+	if _, err := NewWithSize(10, false); err == nil {
+		t.Error("NewWithSize(10) should fail: not a multiple of four")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if High.String() != "+1" || Low.String() != "-1" {
+		t.Errorf("Level strings: %s %s", High, Low)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	d, _ := NewWithSize(8, true)
+	d.Matrix[3][2] = -d.Matrix[3][2]
+	if err := Verify(d); err == nil {
+		t.Error("Verify should detect a flipped entry")
+	}
+	d, _ = NewWithSize(8, false)
+	d.Matrix[0][0] = 0
+	if err := Verify(d); err == nil {
+		t.Error("Verify should detect a zero entry")
+	}
+	d, _ = NewWithSize(8, false)
+	d.Matrix = d.Matrix[:7]
+	if err := Verify(d); err == nil {
+		t.Error("Verify should detect missing rows")
+	}
+}

@@ -1,0 +1,90 @@
+package pb
+
+import "fmt"
+
+// Effects computes the raw Plackett-Burman effect of every factor
+// column from one response value per design row, exactly as in Table 4
+// of the paper: the effect of column j is the sum over rows i of
+// Matrix[i][j] * responses[i]. Only the magnitude of an effect is
+// meaningful; its sign is not.
+func Effects(d *Design, responses []float64) ([]float64, error) {
+	if len(responses) != d.Runs() {
+		return nil, fmt.Errorf("pb: got %d responses for a %d-run design", len(responses), d.Runs())
+	}
+	effects := make([]float64, d.Columns)
+	for i, row := range d.Matrix {
+		y := responses[i]
+		for j, lv := range row {
+			effects[j] += float64(lv) * y
+		}
+	}
+	return effects, nil
+}
+
+// NormalizedEffects divides the raw effects by half the run count,
+// yielding the classical effect estimate: the average response change
+// when the factor moves from its low to its high value.
+func NormalizedEffects(d *Design, responses []float64) ([]float64, error) {
+	effects, err := Effects(d, responses)
+	if err != nil {
+		return nil, err
+	}
+	half := float64(d.Runs()) / 2
+	for j := range effects {
+		effects[j] /= half
+	}
+	return effects, nil
+}
+
+// GrandMean returns the average response over all runs, the design's
+// estimate of the response at the center of the factor space.
+func GrandMean(responses []float64) float64 {
+	if len(responses) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, y := range responses {
+		sum += y
+	}
+	return sum / float64(len(responses))
+}
+
+// SingleFactorSS returns, per factor, the share of the total
+// sum-of-squares attributable to that factor under the PB model:
+// SS_j = (raw effect_j)^2 / Runs. Together with ranking this lets a
+// user see not just the order of factors but how dominant each one is
+// (the paper's caveat about art's FP-sqrt rank in Section 4.1).
+func SingleFactorSS(d *Design, responses []float64) ([]float64, error) {
+	effects, err := Effects(d, responses)
+	if err != nil {
+		return nil, err
+	}
+	ss := make([]float64, len(effects))
+	n := float64(d.Runs())
+	for j, e := range effects {
+		ss[j] = e * e / n
+	}
+	return ss, nil
+}
+
+// PercentOfVariation expresses each factor's PB sum-of-squares as a
+// percentage of the sum over all factor columns (dummy columns
+// included). It is a quick dominance screen to pair with rank output.
+func PercentOfVariation(d *Design, responses []float64) ([]float64, error) {
+	ss, err := SingleFactorSS(d, responses)
+	if err != nil {
+		return nil, err
+	}
+	total := 0.0
+	for _, v := range ss {
+		total += v
+	}
+	pct := make([]float64, len(ss))
+	if total == 0 {
+		return pct, nil
+	}
+	for j, v := range ss {
+		pct[j] = 100 * v / total
+	}
+	return pct, nil
+}

@@ -1,0 +1,207 @@
+package pb
+
+import (
+	"math"
+	"testing"
+)
+
+// Table 4 of the paper: responses for the X=8 design and the published
+// effects for factors A..G.
+var (
+	table4Responses = []float64{1, 9, 74, 28, 3, 6, 112, 84}
+	table4Effects   = []float64{-23, -67, -137, 129, -105, -225, 73}
+)
+
+func TestEffectsMatchPaperTable4(t *testing.T) {
+	d, err := NewWithSize(8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	effects, err := Effects(d, table4Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range table4Effects {
+		if effects[j] != want {
+			t.Errorf("effect %c = %g, want %g", 'A'+j, effects[j], want)
+		}
+	}
+}
+
+func TestTable4Ranking(t *testing.T) {
+	// "These results show that the parameters with the most effect are
+	// F, C, and D, in order of their overall impact on performance."
+	d, _ := NewWithSize(8, false)
+	effects, _ := Effects(d, table4Responses)
+	ranks := Ranks(effects)
+	if ranks[5] != 1 { // F
+		t.Errorf("rank(F) = %d, want 1", ranks[5])
+	}
+	if ranks[2] != 2 { // C
+		t.Errorf("rank(C) = %d, want 2", ranks[2])
+	}
+	if ranks[3] != 3 { // D
+		t.Errorf("rank(D) = %d, want 3", ranks[3])
+	}
+}
+
+func TestNormalizedEffects(t *testing.T) {
+	d, _ := NewWithSize(8, false)
+	norm, err := NormalizedEffects(d, table4Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, want := range table4Effects {
+		if got := norm[j]; math.Abs(got-want/4) > 1e-12 {
+			t.Errorf("normalized effect %c = %g, want %g", 'A'+j, got, want/4)
+		}
+	}
+}
+
+func TestEffectsLengthMismatch(t *testing.T) {
+	d, _ := NewWithSize(8, false)
+	if _, err := Effects(d, []float64{1, 2, 3}); err == nil {
+		t.Error("Effects should reject a short response vector")
+	}
+	if _, err := NormalizedEffects(d, []float64{1, 2, 3}); err == nil {
+		t.Error("NormalizedEffects should reject a short response vector")
+	}
+	if _, err := SingleFactorSS(d, []float64{1}); err == nil {
+		t.Error("SingleFactorSS should reject a short response vector")
+	}
+	if _, err := PercentOfVariation(d, []float64{1}); err == nil {
+		t.Error("PercentOfVariation should reject a short response vector")
+	}
+}
+
+func TestGrandMean(t *testing.T) {
+	if got := GrandMean(nil); got != 0 {
+		t.Errorf("GrandMean(nil) = %g", got)
+	}
+	if got := GrandMean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("GrandMean = %g, want 4", got)
+	}
+}
+
+func TestConstantResponseHasZeroEffects(t *testing.T) {
+	// A response that ignores every factor must produce zero effect on
+	// every column; this is the balance property in action.
+	d, _ := NewWithSize(12, true)
+	responses := make([]float64, d.Runs())
+	for i := range responses {
+		responses[i] = 42
+	}
+	effects, err := Effects(d, responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, e := range effects {
+		if e != 0 {
+			t.Errorf("effect[%d] = %g for constant response, want 0", j, e)
+		}
+	}
+}
+
+func TestSingleActiveFactorIsolated(t *testing.T) {
+	// If the response depends on exactly one column, only that column
+	// gets a nonzero effect: orthogonality isolates main effects.
+	for _, x := range []int{8, 12, 20, 44} {
+		d, err := NewWithSize(x, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		active := d.Columns / 2
+		responses := make([]float64, d.Runs())
+		for i := range responses {
+			responses[i] = 100 + 7*float64(d.Matrix[i][active])
+		}
+		effects, _ := Effects(d, responses)
+		for j, e := range effects {
+			if j == active {
+				if e != 7*float64(d.Runs()) {
+					t.Errorf("X=%d: active effect = %g, want %g", x, e, 7*float64(d.Runs()))
+				}
+			} else if e != 0 {
+				t.Errorf("X=%d: inactive effect[%d] = %g, want 0", x, j, e)
+			}
+		}
+	}
+}
+
+func TestPercentOfVariationSumsTo100(t *testing.T) {
+	d, _ := NewWithSize(8, false)
+	pct, err := PercentOfVariation(d, table4Responses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, p := range pct {
+		if p < 0 {
+			t.Errorf("negative percentage %g", p)
+		}
+		total += p
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("percentages sum to %g, want 100", total)
+	}
+	// All-zero responses must not divide by zero.
+	zero := make([]float64, d.Runs())
+	pct, err = PercentOfVariation(d, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pct {
+		if p != 0 {
+			t.Errorf("zero-response percentage = %g, want 0", p)
+		}
+	}
+}
+
+func TestFoldoverCancelsTwoFactorInteractions(t *testing.T) {
+	// The key statistical property of the foldover: a pure two-factor
+	// interaction (response = product of two columns) contributes
+	// nothing to any main-effect estimate. Without foldover, PB
+	// designs alias interactions onto main effects.
+	d, err := NewWithSize(12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < d.Columns; a++ {
+		for b := a + 1; b < d.Columns; b++ {
+			responses := make([]float64, d.Runs())
+			for i := range responses {
+				responses[i] = float64(d.Matrix[i][a]) * float64(d.Matrix[i][b])
+			}
+			effects, _ := Effects(d, responses)
+			for j, e := range effects {
+				if e != 0 {
+					t.Fatalf("foldover design leaks interaction (%d,%d) into main effect %d: %g", a, b, j, e)
+				}
+			}
+		}
+	}
+}
+
+func TestPlainPBAliasesInteractions(t *testing.T) {
+	// Sanity check of the converse: without foldover at least one
+	// two-factor interaction must alias onto some main effect. This is
+	// exactly why the paper recommends the foldover.
+	d, err := NewWithSize(12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	responses := make([]float64, d.Runs())
+	for i := range responses {
+		responses[i] = float64(d.Matrix[i][0]) * float64(d.Matrix[i][1])
+	}
+	effects, _ := Effects(d, responses)
+	leaked := false
+	for _, e := range effects {
+		if e != 0 {
+			leaked = true
+		}
+	}
+	if !leaked {
+		t.Error("expected the plain PB design to alias the 0x1 interaction onto main effects")
+	}
+}

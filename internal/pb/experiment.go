@@ -1,0 +1,174 @@
+package pb
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Factor describes one two-level experimental factor: a processor
+// parameter, a compiler switch, or any other binary choice. Low and
+// High are human-readable descriptions of the two settings (e.g.
+// "8 entries" / "64 entries", or "2-level" / "perfect").
+type Factor struct {
+	Name string
+	Low  string
+	High string
+}
+
+// Dummy returns a placeholder factor for unused design columns. Its
+// estimated effect measures experimental noise.
+func Dummy(n int) Factor {
+	return Factor{
+		Name: fmt.Sprintf("Dummy Factor #%d", n),
+		Low:  "-",
+		High: "-",
+	}
+}
+
+// Response evaluates one design row: given the level of every factor
+// column it returns the measured response (in this paper, simulated
+// execution time in cycles). Implementations must be safe for
+// concurrent use; the runner fans rows out across goroutines.
+type Response func(levels []Level) float64
+
+// Options configures an experiment run.
+type Options struct {
+	// Foldover selects the 2X-run foldover design (the paper's
+	// recommendation); without it the basic X-run design is used.
+	Foldover bool
+	// Parallelism bounds the number of concurrently evaluated rows.
+	// Zero selects GOMAXPROCS.
+	Parallelism int
+}
+
+// Result holds everything produced by one PB experiment on a single
+// benchmark/response.
+type Result struct {
+	Design    *Design
+	Factors   []Factor // padded with dummies to Design.Columns
+	Responses []float64
+	Effects   []float64 // raw effects, one per column
+	Ranks     []int     // 1 = most significant, one per column
+}
+
+// Run executes a full Plackett-Burman experiment: it builds the
+// smallest design that can hold the factors, evaluates the response
+// for every configuration row (in parallel), and computes effects and
+// ranks. The factor list is padded with dummy factors up to the design
+// column count.
+func Run(factors []Factor, response Response, opts Options) (*Result, error) {
+	design, err := New(len(factors), opts.Foldover)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithDesign(design, factors, response, opts)
+}
+
+// RunWithDesign is Run with a caller-supplied design, allowing one
+// design to be reused across benchmarks (as in Table 9, where the same
+// X=44 foldover design drives all 13 workloads).
+func RunWithDesign(design *Design, factors []Factor, response Response, opts Options) (*Result, error) {
+	if len(factors) > design.Columns {
+		return nil, fmt.Errorf("pb: %d factors exceed the design's %d columns", len(factors), design.Columns)
+	}
+	padded := make([]Factor, design.Columns)
+	copy(padded, factors)
+	for i := len(factors); i < design.Columns; i++ {
+		padded[i] = Dummy(i - len(factors) + 1)
+	}
+	responses := EvaluateRows(design, response, opts.Parallelism)
+	effects, err := Effects(design, responses)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Design:    design,
+		Factors:   padded,
+		Responses: responses,
+		Effects:   effects,
+		Ranks:     Ranks(effects),
+	}, nil
+}
+
+// EvaluateRows computes the response of every design row using up to
+// parallelism goroutines (GOMAXPROCS when zero).
+func EvaluateRows(design *Design, response Response, parallelism int) []float64 {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	n := design.Runs()
+	if parallelism > n {
+		parallelism = n
+	}
+	responses := make([]float64, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				responses[i] = response(design.Row(i))
+			}
+		}()
+	}
+	wg.Wait()
+	return responses
+}
+
+// Suite runs the same design over several named responses (one per
+// benchmark) and aggregates ranks, reproducing the full Table 9
+// workflow including the sum-of-ranks ordering.
+type Suite struct {
+	Design     *Design
+	Factors    []Factor
+	Benchmarks []string
+	Results    []*Result // one per benchmark, same order
+	RankRows   [][]int   // [benchmark][factor]
+	Sums       []int     // [factor]
+	Order      []int     // factor indices by ascending sum
+}
+
+// RunSuite evaluates responses[bi] for every benchmark bi over a
+// shared design built for the given factors.
+func RunSuite(factors []Factor, benchmarks []string, responses []Response, opts Options) (*Suite, error) {
+	if len(benchmarks) != len(responses) {
+		return nil, fmt.Errorf("pb: %d benchmark names but %d responses", len(benchmarks), len(responses))
+	}
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("pb: empty benchmark suite")
+	}
+	design, err := New(len(factors), opts.Foldover)
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{
+		Design:     design,
+		Benchmarks: benchmarks,
+		Results:    make([]*Result, len(benchmarks)),
+		RankRows:   make([][]int, len(benchmarks)),
+	}
+	for bi, resp := range responses {
+		res, err := RunWithDesign(design, factors, resp, opts)
+		if err != nil {
+			return nil, fmt.Errorf("pb: benchmark %s: %w", benchmarks[bi], err)
+		}
+		s.Results[bi] = res
+		s.RankRows[bi] = res.Ranks
+		if s.Factors == nil {
+			s.Factors = res.Factors
+		}
+	}
+	s.Sums = SumOfRanks(s.RankRows)
+	s.Order = OrderBySum(s.Sums)
+	return s, nil
+}

@@ -1,0 +1,196 @@
+package pb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickSizes are the design sizes exercised by the property tests.
+var quickSizes = []int{4, 8, 12, 16, 20, 24, 32, 36, 44, 48}
+
+// TestPropEffectsAreLinear checks that Effects is a linear operator:
+// Effects(a*y1 + b*y2) == a*Effects(y1) + b*Effects(y2).
+func TestPropEffectsAreLinear(t *testing.T) {
+	f := func(seed int64, a, b float64, sizeIdx uint8) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = math.Mod(a, 1e3)
+		b = math.Mod(b, 1e3)
+		x := quickSizes[int(sizeIdx)%len(quickSizes)]
+		d, err := NewWithSize(x, seed%2 == 0)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		y1 := make([]float64, d.Runs())
+		y2 := make([]float64, d.Runs())
+		combo := make([]float64, d.Runs())
+		for i := range y1 {
+			y1[i] = rng.NormFloat64() * 100
+			y2[i] = rng.NormFloat64() * 100
+			combo[i] = a*y1[i] + b*y2[i]
+		}
+		e1, _ := Effects(d, y1)
+		e2, _ := Effects(d, y2)
+		ec, _ := Effects(d, combo)
+		for j := range ec {
+			want := a*e1[j] + b*e2[j]
+			tol := 1e-6 * (1 + math.Abs(want))
+			if math.Abs(ec[j]-want) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRanksArePermutation checks that Ranks always emits a
+// permutation of 1..n for arbitrary effect vectors.
+func TestPropRanksArePermutation(t *testing.T) {
+	f := func(effects []float64) bool {
+		ranks := Ranks(effects)
+		if len(ranks) != len(effects) {
+			return false
+		}
+		seen := make([]bool, len(ranks)+1)
+		for _, r := range ranks {
+			if r < 1 || r > len(ranks) || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropRanksOrderByMagnitude checks that a rank-1 factor never has
+// a smaller absolute effect than any other factor.
+func TestPropRanksOrderByMagnitude(t *testing.T) {
+	f := func(effects []float64) bool {
+		if len(effects) == 0 {
+			return true
+		}
+		for i := range effects {
+			if math.IsNaN(effects[i]) {
+				effects[i] = 0
+			}
+		}
+		ranks := Ranks(effects)
+		// For every pair, a strictly larger magnitude implies a
+		// strictly smaller (better) rank.
+		for a := range effects {
+			for b := range effects {
+				if math.Abs(effects[a]) > math.Abs(effects[b]) && ranks[a] > ranks[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropFoldoverMirror checks the foldover construction across all
+// supported sizes: the second half is always the exact sign mirror of
+// the first half.
+func TestPropFoldoverMirror(t *testing.T) {
+	f := func(sizeIdx uint8) bool {
+		x := quickSizes[int(sizeIdx)%len(quickSizes)]
+		d, err := NewWithSize(x, true)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < d.X; i++ {
+			for j := 0; j < d.Columns; j++ {
+				if d.Matrix[d.X+i][j] != -d.Matrix[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSumOfRanksBounds checks that every factor's sum of ranks
+// over B benchmarks lies in [B, B*numFactors].
+func TestPropSumOfRanksBounds(t *testing.T) {
+	f := func(seed int64, nb uint8, nf uint8) bool {
+		benches := int(nb%7) + 1
+		factors := int(nf%15) + 1
+		rng := rand.New(rand.NewSource(seed))
+		rows := make([][]int, benches)
+		for b := range rows {
+			effects := make([]float64, factors)
+			for j := range effects {
+				effects[j] = rng.NormFloat64()
+			}
+			rows[b] = Ranks(effects)
+		}
+		sums := SumOfRanks(rows)
+		total := 0
+		for _, s := range sums {
+			if s < benches || s > benches*factors {
+				return false
+			}
+			total += s
+		}
+		// The grand total is invariant: B * (1 + 2 + ... + F).
+		return total == benches*factors*(factors+1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropDummyColumnsReadZeroWhenResponseIgnoresThem checks the
+// noise-floor property the paper relies on: columns the response never
+// reads estimate exactly zero effect on a deterministic simulator.
+func TestPropDummyColumnsReadZeroWhenResponseIgnoresThem(t *testing.T) {
+	f := func(seed int64, sizeIdx uint8, activeMask uint16) bool {
+		x := quickSizes[int(sizeIdx)%len(quickSizes)]
+		d, err := NewWithSize(x, true)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		weights := make([]float64, d.Columns)
+		for j := 0; j < d.Columns && j < 16; j++ {
+			if activeMask&(1<<uint(j)) != 0 {
+				weights[j] = rng.NormFloat64() * 10
+			}
+		}
+		responses := make([]float64, d.Runs())
+		for i, row := range d.Matrix {
+			y := 500.0
+			for j, w := range weights {
+				y += w * float64(row[j])
+			}
+			responses[i] = y
+		}
+		effects, _ := Effects(d, responses)
+		for j := range effects {
+			want := weights[j] * float64(d.Runs())
+			if math.Abs(effects[j]-want) > 1e-6*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,67 @@
+package pb
+
+import "fmt"
+
+// Verify checks the structural properties that make a matrix a valid
+// Plackett-Burman design:
+//
+//   - every entry is +1 or -1;
+//   - every column is balanced (equal counts of +1 and -1) over the
+//     base X rows;
+//   - every pair of distinct columns is orthogonal (zero dot product)
+//     over the base X rows;
+//   - with foldover, row X+i is the exact negation of row i.
+//
+// It returns nil when all properties hold.
+func Verify(d *Design) error {
+	if d.Columns != d.X-1 {
+		return fmt.Errorf("pb: design has %d columns, want X-1 = %d", d.Columns, d.X-1)
+	}
+	wantRuns := d.X
+	if d.Foldover {
+		wantRuns = 2 * d.X
+	}
+	if d.Runs() != wantRuns {
+		return fmt.Errorf("pb: design has %d runs, want %d", d.Runs(), wantRuns)
+	}
+	for i, row := range d.Matrix {
+		if len(row) != d.Columns {
+			return fmt.Errorf("pb: row %d has %d entries, want %d", i, len(row), d.Columns)
+		}
+		for j, lv := range row {
+			if lv != High && lv != Low {
+				return fmt.Errorf("pb: entry (%d,%d) = %d is not +1/-1", i, j, lv)
+			}
+		}
+	}
+	for j := 0; j < d.Columns; j++ {
+		sum := 0
+		for i := 0; i < d.X; i++ {
+			sum += int(d.Matrix[i][j])
+		}
+		if sum != 0 {
+			return fmt.Errorf("pb: column %d is unbalanced (sum %d over base rows)", j, sum)
+		}
+	}
+	for a := 0; a < d.Columns; a++ {
+		for b := a + 1; b < d.Columns; b++ {
+			dot := 0
+			for i := 0; i < d.X; i++ {
+				dot += int(d.Matrix[i][a]) * int(d.Matrix[i][b])
+			}
+			if dot != 0 {
+				return fmt.Errorf("pb: columns %d and %d are not orthogonal (dot %d)", a, b, dot)
+			}
+		}
+	}
+	if d.Foldover {
+		for i := 0; i < d.X; i++ {
+			for j := 0; j < d.Columns; j++ {
+				if d.Matrix[d.X+i][j] != -d.Matrix[i][j] {
+					return fmt.Errorf("pb: foldover row %d is not the mirror of row %d at column %d", d.X+i, i, j)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package bpred models the branch-prediction hardware of Table 6 of
+// the paper: direction predictors (two-level adaptive, bimodal, static
+// taken, and perfect), a set-associative branch target buffer, and a
+// return address stack. The "speculative branch update" parameter
+// (update history in decode vs in commit) is realized by the pipeline,
+// which chooses when to call Update.
+package bpred
+
+import "fmt"
+
+// DirectionPredictor predicts conditional-branch directions.
+type DirectionPredictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the branch's actual outcome.
+	// The pipeline calls it at decode time (speculative update) or at
+	// commit time, per the speculative-branch-update parameter.
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor in statistics output.
+	Name() string
+}
+
+// TwoLevel is a two-level adaptive predictor with per-branch (local)
+// history, the PAg organization of Yeh and Patt: a branch-history
+// table indexed by PC holds each branch's recent outcomes, and the
+// history pattern XOR-folded with the PC indexes a shared table of
+// two-bit saturating counters. Local history learns periodic
+// per-branch behaviour (loop trip counts, alternating branches) that
+// no counter-only predictor can capture.
+type TwoLevel struct {
+	histBits uint
+	histMask uint64
+	bht      []uint64 // per-branch local histories
+	bhtMask  uint64
+	mask     uint64
+	pht      []uint8
+}
+
+// NewTwoLevel builds a two-level predictor with the given local
+// history length and pattern-history-table size (1 << tableBits
+// counters). The branch-history table has 1024 entries.
+func NewTwoLevel(histBits, tableBits uint) (*TwoLevel, error) {
+	if tableBits < 1 || tableBits > 24 {
+		return nil, fmt.Errorf("bpred: tableBits %d out of range", tableBits)
+	}
+	if histBits > tableBits {
+		histBits = tableBits
+	}
+	const bhtEntries = 1024
+	p := &TwoLevel{
+		histBits: histBits,
+		histMask: (1 << histBits) - 1,
+		bht:      make([]uint64, bhtEntries),
+		bhtMask:  bhtEntries - 1,
+		mask:     (1 << tableBits) - 1,
+		pht:      make([]uint8, 1<<tableBits),
+	}
+	// Weakly taken initial state.
+	for i := range p.pht {
+		p.pht[i] = 2
+	}
+	return p, nil
+}
+
+func (p *TwoLevel) index(pc uint64) uint64 {
+	hist := p.bht[(pc>>2)&p.bhtMask]
+	return (hist ^ (pc >> 2) ^ (pc >> 12)) & p.mask
+}
+
+// Predict implements DirectionPredictor.
+func (p *TwoLevel) Predict(pc uint64) bool {
+	return p.pht[p.index(pc)] >= 2
+}
+
+// Update implements DirectionPredictor: it trains the counter and
+// shifts the outcome into the branch's local history.
+func (p *TwoLevel) Update(pc uint64, taken bool) {
+	idx := p.index(pc)
+	c := p.pht[idx]
+	if taken {
+		if c < 3 {
+			p.pht[idx] = c + 1
+		}
+	} else {
+		if c > 0 {
+			p.pht[idx] = c - 1
+		}
+	}
+	b := (pc >> 2) & p.bhtMask
+	p.bht[b] = ((p.bht[b] << 1) | boolBit(taken)) & p.histMask
+}
+
+// Name implements DirectionPredictor.
+func (p *TwoLevel) Name() string { return "2-Level" }
+
+// Bimodal is a PC-indexed table of two-bit saturating counters with no
+// history.
+type Bimodal struct {
+	mask uint64
+	pht  []uint8
+}
+
+// NewBimodal builds a bimodal predictor with 1 << tableBits counters.
+func NewBimodal(tableBits uint) (*Bimodal, error) {
+	if tableBits < 1 || tableBits > 24 {
+		return nil, fmt.Errorf("bpred: tableBits %d out of range", tableBits)
+	}
+	p := &Bimodal{mask: (1 << tableBits) - 1, pht: make([]uint8, 1<<tableBits)}
+	for i := range p.pht {
+		p.pht[i] = 2
+	}
+	return p, nil
+}
+
+// Predict implements DirectionPredictor.
+func (p *Bimodal) Predict(pc uint64) bool {
+	return p.pht[(pc>>2)&p.mask] >= 2
+}
+
+// Update implements DirectionPredictor.
+func (p *Bimodal) Update(pc uint64, taken bool) {
+	idx := (pc >> 2) & p.mask
+	c := p.pht[idx]
+	if taken {
+		if c < 3 {
+			p.pht[idx] = c + 1
+		}
+	} else if c > 0 {
+		p.pht[idx] = c - 1
+	}
+}
+
+// Name implements DirectionPredictor.
+func (p *Bimodal) Name() string { return "Bimodal" }
+
+// Taken always predicts taken (static prediction).
+type Taken struct{}
+
+// Predict implements DirectionPredictor.
+func (Taken) Predict(uint64) bool { return true }
+
+// Update implements DirectionPredictor (no state).
+func (Taken) Update(uint64, bool) {}
+
+// Name implements DirectionPredictor.
+func (Taken) Name() string { return "Taken" }
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,153 @@
+package bpred
+
+import "fmt"
+
+// BTB is a set-associative branch target buffer mapping branch PCs to
+// their most recent taken targets (Table 6: entries, associativity).
+type BTB struct {
+	sets    int
+	ways    int
+	setMask uint64
+	tags    []uint64
+	targets []uint64
+	valid   []bool
+	stamp   []uint64
+	clock   uint64
+	// stats
+	lookups, hits uint64
+}
+
+// FullyAssociative requests a single set covering all entries.
+const FullyAssociative = -1
+
+// NewBTB builds a BTB with the given entry count and associativity.
+func NewBTB(entries, assoc int) (*BTB, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("bpred: BTB entries %d invalid", entries)
+	}
+	if assoc == FullyAssociative || assoc > entries {
+		assoc = entries
+	}
+	if assoc <= 0 || entries%assoc != 0 {
+		return nil, fmt.Errorf("bpred: BTB associativity %d invalid for %d entries", assoc, entries)
+	}
+	sets := entries / assoc
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("bpred: BTB set count %d not a power of two", sets)
+	}
+	return &BTB{
+		sets:    sets,
+		ways:    assoc,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, entries),
+		targets: make([]uint64, entries),
+		valid:   make([]bool, entries),
+		stamp:   make([]uint64, entries),
+	}, nil
+}
+
+// Sets returns the number of sets; Ways the associativity.
+func (b *BTB) Sets() int { return b.sets }
+
+// Ways returns the associativity.
+func (b *BTB) Ways() int { return b.ways }
+
+// Lookup returns the predicted target for the branch at pc and whether
+// the BTB held an entry for it.
+func (b *BTB) Lookup(pc uint64) (uint64, bool) {
+	b.lookups++
+	b.clock++
+	key := pc >> 2
+	base := int(key&b.setMask) * b.ways
+	for w := 0; w < b.ways; w++ {
+		if b.valid[base+w] && b.tags[base+w] == key {
+			b.stamp[base+w] = b.clock
+			b.hits++
+			return b.targets[base+w], true
+		}
+	}
+	return 0, false
+}
+
+// Insert records the taken target of the branch at pc, evicting the
+// LRU entry of the set if necessary.
+func (b *BTB) Insert(pc, target uint64) {
+	b.clock++
+	key := pc >> 2
+	base := int(key&b.setMask) * b.ways
+	victim := base
+	oldest := b.stamp[base]
+	for w := 0; w < b.ways; w++ {
+		i := base + w
+		if b.valid[i] && b.tags[i] == key {
+			b.targets[i] = target
+			b.stamp[i] = b.clock
+			return
+		}
+		if !b.valid[i] {
+			victim = i
+			oldest = 0
+		} else if b.stamp[i] < oldest {
+			victim = i
+			oldest = b.stamp[i]
+		}
+	}
+	b.tags[victim] = key
+	b.targets[victim] = target
+	b.valid[victim] = true
+	b.stamp[victim] = b.clock
+}
+
+// HitRate returns the fraction of lookups that hit.
+func (b *BTB) HitRate() float64 {
+	if b.lookups == 0 {
+		return 0
+	}
+	return float64(b.hits) / float64(b.lookups)
+}
+
+// RAS is a return address stack of fixed depth. Pushes beyond the
+// depth overwrite the oldest entry (circular), as in real hardware.
+type RAS struct {
+	stack []uint64
+	top   int
+	count int
+	// stats
+	pops, underflows uint64
+}
+
+// NewRAS builds a return address stack with the given entry count.
+func NewRAS(entries int) (*RAS, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("bpred: RAS entries %d invalid", entries)
+	}
+	return &RAS{stack: make([]uint64, entries)}, nil
+}
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.top] = addr
+	r.top = (r.top + 1) % len(r.stack)
+	if r.count < len(r.stack) {
+		r.count++
+	}
+}
+
+// Pop predicts the target of a return. ok is false when the stack is
+// empty (an unconditional misprediction).
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	r.pops++
+	if r.count == 0 {
+		r.underflows++
+		return 0, false
+	}
+	r.top = (r.top - 1 + len(r.stack)) % len(r.stack)
+	r.count--
+	return r.stack[r.top], true
+}
+
+// Depth returns the current number of valid entries.
+func (r *RAS) Depth() int { return r.count }
+
+// Capacity returns the configured entry count.
+func (r *RAS) Capacity() int { return len(r.stack) }

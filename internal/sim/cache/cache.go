@@ -1,0 +1,217 @@
+// Package cache models the parameterized memory-hierarchy structures
+// of Table 8 of the paper: set-associative caches with configurable
+// size, associativity, block size and replacement policy, translation
+// lookaside buffers, and a DRAM channel with a first-block latency and
+// a bandwidth-limited transfer time for the remaining chunks of a
+// block.
+package cache
+
+import "fmt"
+
+// Replacement selects the victim-choice policy of a set.
+type Replacement int
+
+// Supported replacement policies. The paper uses LRU throughout; FIFO
+// and Random are provided for ablation studies.
+const (
+	LRU Replacement = iota
+	FIFO
+	Random
+)
+
+func (r Replacement) String() string {
+	switch r {
+	case LRU:
+		return "LRU"
+	case FIFO:
+		return "FIFO"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Assoc is the number of ways; use FullyAssociative for a
+	// fully-associative array.
+	Assoc int
+	// BlockBytes is the line size (power of two).
+	BlockBytes int
+	// Policy is the replacement policy.
+	Policy Replacement
+}
+
+// FullyAssociative requests associativity equal to the number of
+// blocks.
+const FullyAssociative = -1
+
+// Stats counts accesses and misses.
+type Stats struct {
+	Accesses uint64
+	Misses   uint64
+}
+
+// MissRate returns Misses/Accesses (0 when no accesses occurred).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative tag array. It tracks presence only (no
+// data), which is all a timing model needs.
+type Cache struct {
+	sets      int
+	ways      int
+	blockBits uint
+	setMask   uint64
+	tags      []uint64 // sets*ways entries
+	valid     []bool
+	meta      []uint64 // per-way LRU stamp or FIFO arrival
+	clock     uint64
+	policy    Replacement
+	rng       uint64 // xorshift state for Random policy
+	stats     Stats
+}
+
+// New builds a cache from the configuration. Size must be a positive
+// multiple of BlockBytes, and BlockBytes a power of two; Assoc must
+// divide the block count (or be FullyAssociative).
+func New(cfg Config) (*Cache, error) {
+	if cfg.BlockBytes <= 0 || cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		return nil, fmt.Errorf("cache: block size %d is not a positive power of two", cfg.BlockBytes)
+	}
+	if cfg.SizeBytes <= 0 || cfg.SizeBytes%cfg.BlockBytes != 0 {
+		return nil, fmt.Errorf("cache: size %d is not a positive multiple of block size %d", cfg.SizeBytes, cfg.BlockBytes)
+	}
+	blocks := cfg.SizeBytes / cfg.BlockBytes
+	assoc := cfg.Assoc
+	if assoc == FullyAssociative || assoc > blocks {
+		assoc = blocks
+	}
+	if assoc <= 0 {
+		return nil, fmt.Errorf("cache: associativity %d invalid", cfg.Assoc)
+	}
+	if blocks%assoc != 0 {
+		return nil, fmt.Errorf("cache: %d blocks not divisible by associativity %d", blocks, assoc)
+	}
+	sets := blocks / assoc
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache: %d sets is not a power of two", sets)
+	}
+	blockBits := uint(0)
+	for 1<<blockBits < cfg.BlockBytes {
+		blockBits++
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      assoc,
+		blockBits: blockBits,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, sets*assoc),
+		valid:     make([]bool, sets*assoc),
+		meta:      make([]uint64, sets*assoc),
+		policy:    cfg.Policy,
+		rng:       0x9e3779b97f4a7c15,
+	}, nil
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// BlockBytes returns the line size.
+func (c *Cache) BlockBytes() int { return 1 << c.blockBits }
+
+// Stats returns the access counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Access looks up the block containing addr, allocating it on a miss,
+// and reports whether the access hit. The timing consequences of a
+// miss are the caller's concern.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	c.clock++
+	block := addr >> c.blockBits
+	set := int(block & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == block {
+			if c.policy == LRU {
+				c.meta[base+w] = c.clock
+			}
+			return true
+		}
+	}
+	c.stats.Misses++
+	c.fill(base, block)
+	return false
+}
+
+// Contains reports whether the block holding addr is present, without
+// updating any state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	block := addr >> c.blockBits
+	base := int(block&c.setMask) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == block {
+			return true
+		}
+	}
+	return false
+}
+
+// fill victimizes a way of the set and installs the block.
+func (c *Cache) fill(base int, block uint64) {
+	victim := base
+	switch c.policy {
+	case Random:
+		// Invalid ways first, then xorshift-random.
+		found := false
+		for w := 0; w < c.ways; w++ {
+			if !c.valid[base+w] {
+				victim, found = base+w, true
+				break
+			}
+		}
+		if !found {
+			c.rng ^= c.rng << 13
+			c.rng ^= c.rng >> 7
+			c.rng ^= c.rng << 17
+			victim = base + int(c.rng%uint64(c.ways))
+		}
+	default: // LRU and FIFO both evict the smallest stamp
+		oldest := c.meta[base]
+		for w := 0; w < c.ways; w++ {
+			if !c.valid[base+w] {
+				victim = base + w
+				oldest = 0
+				break
+			}
+			if c.meta[base+w] < oldest {
+				victim = base + w
+				oldest = c.meta[base+w]
+			}
+		}
+	}
+	c.tags[victim] = block
+	c.valid[victim] = true
+	c.meta[victim] = c.clock // LRU: last use; FIFO: arrival time
+}
+
+// Flush invalidates every line and clears statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.meta[i] = 0
+	}
+	c.clock = 0
+	c.stats = Stats{}
+}

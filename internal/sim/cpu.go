@@ -1,0 +1,588 @@
+package sim
+
+import (
+	"fmt"
+
+	"pbsim/internal/sim/bpred"
+	"pbsim/internal/sim/cache"
+	"pbsim/internal/sim/pipeline"
+	"pbsim/internal/trace"
+)
+
+// ComputeShortcut lets an enhancement bypass execution of arithmetic
+// instructions whose result is already known: the mechanism behind
+// instruction precomputation and value reuse (Section 4.3 of the
+// paper). Hit is consulted at dispatch; Observe is called when a
+// compute instruction commits, letting dynamic schemes train.
+type ComputeShortcut interface {
+	Hit(compID uint32) bool
+	Observe(compID uint32)
+}
+
+// maxDepDistance is the largest register-dependency back-distance the
+// trace generator emits; the readiness ring must cover the ROB plus
+// this margin.
+const maxDepDistance = 64
+
+// fetched is one IFQ slot.
+type fetched struct {
+	instr      trace.Instr
+	seq        int64
+	mispredict bool
+}
+
+// CPU is one simulated processor instance bound to one instruction
+// stream. Create a fresh CPU per run; it is not reusable or
+// goroutine-safe.
+type CPU struct {
+	cfg  Config
+	gen  *trace.Generator
+	hier *cache.Hierarchy
+
+	pred bpred.DirectionPredictor // nil when Predictor == PredPerfect
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+
+	intALU, intMD, fpALU, fpMD *pipeline.Pool
+
+	rob *pipeline.ROB
+	lsq *pipeline.LSQ
+
+	shortcut ComputeShortcut
+
+	ifq     []fetched
+	ifqHead int
+	ifqLen  int
+
+	// readyRing holds the result-ready cycle of recent instructions,
+	// indexed by sequence number; sized to cover the ROB plus the
+	// maximum dependency distance so a slot is never reused while an
+	// in-flight instruction can still read it.
+	readyRing []int64
+	ringMask  int64
+
+	seq       int64
+	committed int64
+	cycle     int64
+
+	pending    *trace.Instr
+	pendingSet bool
+
+	// stopAt caps retirement so runs end on exact instruction counts.
+	stopAt int64
+
+	fetchBlockedUntil int64
+	haltSeq           int64 // seq of the in-flight mispredicted instr, -1 if none
+	resumeAt          int64 // cycle fetch resumes after the halt, -1 until resolved
+	redirectPending   bool
+	lastFetchBlock    uint64
+
+	stats Stats
+}
+
+// Stats aggregates one run's results.
+type Stats struct {
+	Cycles       int64
+	Instructions int64
+	// Control-flow statistics.
+	ControlInstrs uint64
+	Mispredicts   uint64
+	// Misprediction causes, counted at prediction time: wrong
+	// direction, missing/wrong BTB target, and wrong return-address
+	// stack prediction.
+	MispredDirection uint64
+	MispredBTB       uint64
+	MispredRAS       uint64
+	// Loads and Stores counted at commit.
+	Loads, Stores uint64
+	// PrecompHits counts instructions satisfied by the compute
+	// shortcut instead of a functional unit.
+	PrecompHits uint64
+	// Memory-system statistics.
+	L1I, L1D, L2, ITLB, DTLB cache.Stats
+	DRAMAccesses             uint64
+	// Functional-unit issue counts.
+	IntALUOps, IntMDOps, FPALUOps, FPMDOps uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredicted control instructions per control
+// instruction.
+func (s Stats) MispredictRate() float64 {
+	if s.ControlInstrs == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.ControlInstrs)
+}
+
+// New builds a CPU for the given configuration and instruction stream.
+// shortcut may be nil (no enhancement).
+func New(cfg Config, gen *trace.Generator, shortcut ComputeShortcut) (*CPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(cfg.hierarchyConfig())
+	if err != nil {
+		return nil, err
+	}
+	ringSize := int64(2)
+	for ringSize < int64(cfg.ROBEntries+maxDepDistance+1) {
+		ringSize *= 2
+	}
+	c := &CPU{
+		cfg:       cfg,
+		gen:       gen,
+		hier:      hier,
+		shortcut:  shortcut,
+		ifq:       make([]fetched, cfg.IFQEntries),
+		readyRing: make([]int64, ringSize),
+		ringMask:  ringSize - 1,
+		haltSeq:   -1,
+		resumeAt:  -1,
+	}
+	switch cfg.Predictor {
+	case PredPerfect:
+		c.pred = nil
+	case PredBimodal:
+		if c.pred, err = bpred.NewBimodal(12); err != nil {
+			return nil, err
+		}
+	case PredAlwaysTaken:
+		c.pred = bpred.Taken{}
+	default:
+		if c.pred, err = bpred.NewTwoLevel(8, 12); err != nil {
+			return nil, err
+		}
+	}
+	if c.pred != nil {
+		if c.btb, err = bpred.NewBTB(cfg.BTBEntries, cfg.BTBAssoc); err != nil {
+			return nil, err
+		}
+		if c.ras, err = bpred.NewRAS(cfg.RASEntries); err != nil {
+			return nil, err
+		}
+	}
+	if c.intALU, err = pipeline.NewPool(cfg.IntALUs); err != nil {
+		return nil, err
+	}
+	if c.intMD, err = pipeline.NewPool(cfg.IntMultDivs); err != nil {
+		return nil, err
+	}
+	if c.fpALU, err = pipeline.NewPool(cfg.FPALUs); err != nil {
+		return nil, err
+	}
+	if c.fpMD, err = pipeline.NewPool(cfg.FPMultDivs); err != nil {
+		return nil, err
+	}
+	if c.rob, err = pipeline.NewROB(cfg.ROBEntries); err != nil {
+		return nil, err
+	}
+	if c.lsq, err = pipeline.NewLSQ(cfg.LSQEntries()); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// PrewarmMemory performs functional cache warming: it touches the
+// workload's entire data working set and code footprint in the memory
+// hierarchy without charging time, the scaled-down equivalent of the
+// multi-billion-instruction warm-up the paper's full SPEC runs
+// provide. The measured phase then observes steady-state rather than
+// compulsory misses.
+func (c *CPU) PrewarmMemory() {
+	p := c.gen.Params()
+	c.hier.PrewarmCode(trace.CodeBase, p.CodeFootprintBytes())
+	c.hier.PrewarmData(trace.DataBase, p.WorkingSetBytes)
+}
+
+// Run simulates until n instructions commit and returns the run's
+// statistics. It errors out if the pipeline stops making progress
+// (which would indicate a simulator bug, not a configuration choice).
+func (c *CPU) Run(n int64) (Stats, error) {
+	if n <= 0 {
+		return Stats{}, fmt.Errorf("sim: instruction count %d invalid", n)
+	}
+	if err := c.runTo(n); err != nil {
+		return c.snapshot(), err
+	}
+	return c.snapshot(), nil
+}
+
+// RunWithWarmup simulates warmup instructions to populate the caches,
+// TLBs and predictors, then simulates n more and returns statistics
+// covering only the measured phase.
+func (c *CPU) RunWithWarmup(warmup, n int64) (Stats, error) {
+	if warmup < 0 || n <= 0 {
+		return Stats{}, fmt.Errorf("sim: invalid warmup/measure counts (%d, %d)", warmup, n)
+	}
+	if err := c.runTo(warmup); err != nil {
+		return c.snapshot(), err
+	}
+	base := c.snapshot()
+	if err := c.runTo(warmup + n); err != nil {
+		return c.snapshot(), err
+	}
+	return c.snapshot().sub(base), nil
+}
+
+// runTo advances the simulation until the committed-instruction count
+// reaches target.
+func (c *CPU) runTo(target int64) error {
+	c.stopAt = target
+	// Generous progress bound: even a 1-wide machine with worst-case
+	// memory latencies commits one instruction within ~1000 cycles.
+	maxCycles := c.cycle + (target-c.committed)*2000 + 100000
+	for c.committed < target {
+		c.cycle++
+		c.commitStage()
+		c.issueStage()
+		c.dispatchStage()
+		c.fetchStage()
+		if c.cycle > maxCycles {
+			return fmt.Errorf("sim: no forward progress after %d cycles (%d/%d committed)", c.cycle, c.committed, target)
+		}
+	}
+	return nil
+}
+
+// sub returns s - base, field-wise, for warmup exclusion.
+func (s Stats) sub(base Stats) Stats {
+	subCache := func(a, b cache.Stats) cache.Stats {
+		return cache.Stats{Accesses: a.Accesses - b.Accesses, Misses: a.Misses - b.Misses}
+	}
+	return Stats{
+		Cycles:           s.Cycles - base.Cycles,
+		Instructions:     s.Instructions - base.Instructions,
+		ControlInstrs:    s.ControlInstrs - base.ControlInstrs,
+		Mispredicts:      s.Mispredicts - base.Mispredicts,
+		MispredDirection: s.MispredDirection - base.MispredDirection,
+		MispredBTB:       s.MispredBTB - base.MispredBTB,
+		MispredRAS:       s.MispredRAS - base.MispredRAS,
+		Loads:            s.Loads - base.Loads,
+		Stores:           s.Stores - base.Stores,
+		PrecompHits:      s.PrecompHits - base.PrecompHits,
+		L1I:              subCache(s.L1I, base.L1I),
+		L1D:              subCache(s.L1D, base.L1D),
+		L2:               subCache(s.L2, base.L2),
+		ITLB:             subCache(s.ITLB, base.ITLB),
+		DTLB:             subCache(s.DTLB, base.DTLB),
+		DRAMAccesses:     s.DRAMAccesses - base.DRAMAccesses,
+		IntALUOps:        s.IntALUOps - base.IntALUOps,
+		IntMDOps:         s.IntMDOps - base.IntMDOps,
+		FPALUOps:         s.FPALUOps - base.FPALUOps,
+		FPMDOps:          s.FPMDOps - base.FPMDOps,
+	}
+}
+
+// snapshot finalizes the statistics.
+func (c *CPU) snapshot() Stats {
+	s := c.stats
+	s.Cycles = c.cycle
+	s.Instructions = c.committed
+	s.L1I = c.hier.L1I.Stats()
+	s.L1D = c.hier.L1D.Stats()
+	s.L2 = c.hier.L2.Stats()
+	s.ITLB = c.hier.ITLB.Stats()
+	s.DTLB = c.hier.DTLB.Stats()
+	s.DRAMAccesses = c.hier.DRAMAccesses
+	s.IntALUOps = c.intALU.Issued()
+	s.IntMDOps = c.intMD.Issued()
+	s.FPALUOps = c.fpALU.Issued()
+	s.FPMDOps = c.fpMD.Issued()
+	return s
+}
+
+// nextInstr returns the next instruction to fetch without consuming
+// it; consume advances past it.
+func (c *CPU) nextInstr() trace.Instr {
+	if !c.pendingSet {
+		in := c.gen.Next()
+		c.pending = &in
+		c.pendingSet = true
+	}
+	return *c.pending
+}
+
+func (c *CPU) consumeInstr() {
+	c.pendingSet = false
+}
+
+// fetchStage fills the IFQ: up to Width instructions per cycle, at
+// most one new instruction-cache block per cycle, stopping at a taken
+// control instruction, an IFQ-full condition, an instruction-cache
+// stall, or a misprediction (fetch halts until the offending
+// instruction resolves and the penalty elapses).
+func (c *CPU) fetchStage() {
+	if c.haltSeq >= 0 {
+		if c.resumeAt < 0 || c.cycle < c.resumeAt {
+			return
+		}
+		c.haltSeq = -1
+		c.resumeAt = -1
+		c.redirectPending = true
+	}
+	if c.cycle < c.fetchBlockedUntil {
+		return
+	}
+	blockBytes := uint64(c.cfg.L1IBlock)
+	fetchedN := 0
+	for fetchedN < c.cfg.Width && c.ifqLen < len(c.ifq) {
+		in := c.nextInstr()
+		block := in.PC / blockBytes
+		if block != c.lastFetchBlock {
+			lat := c.hier.InstFetch(in.PC, c.cycle)
+			c.lastFetchBlock = block
+			if c.redirectPending || lat > int64(c.cfg.L1ILat) {
+				// A redirect pays the access latency; a miss stalls
+				// fetch until the line arrives. (Sequential hits are
+				// pipelined and cost nothing extra.)
+				c.fetchBlockedUntil = c.cycle + lat
+				c.redirectPending = false
+				return
+			}
+		}
+		c.consumeInstr()
+		f := fetched{instr: in, seq: c.seq}
+		c.seq++
+		if in.Class.IsControl() {
+			f.mispredict = c.predictControl(in)
+		}
+		c.ifq[(c.ifqHead+c.ifqLen)%len(c.ifq)] = f
+		c.ifqLen++
+		fetchedN++
+		if f.mispredict {
+			c.haltSeq = f.seq
+			c.resumeAt = -1
+			return
+		}
+		if in.Taken {
+			// One taken control transfer per fetch cycle.
+			return
+		}
+	}
+}
+
+// predictControl runs the front-end prediction hardware for a control
+// instruction and reports whether the prediction was wrong.
+func (c *CPU) predictControl(in trace.Instr) bool {
+	if c.pred == nil {
+		return false // perfect prediction
+	}
+	mispredict := false
+	switch in.Class {
+	case trace.Branch:
+		predTaken := c.pred.Predict(in.PC)
+		dirWrong := predTaken != in.Taken
+		var predTarget uint64
+		btbWrong := false
+		if predTaken {
+			tgt, hit := c.btb.Lookup(in.PC)
+			if !hit {
+				// No target available: fall through sequentially.
+				predTaken = false
+				btbWrong = in.Taken
+			} else {
+				predTarget = tgt
+				btbWrong = in.Taken && predTarget != in.Target
+			}
+		}
+		mispredict = predTaken != in.Taken || btbWrong
+		if mispredict {
+			if dirWrong {
+				c.stats.MispredDirection++
+			} else {
+				c.stats.MispredBTB++
+			}
+		}
+		if c.cfg.SpecUpdate {
+			c.pred.Update(in.PC, in.Taken)
+			if in.Taken {
+				c.btb.Insert(in.PC, in.Target)
+			}
+		}
+	case trace.Call:
+		tgt, hit := c.btb.Lookup(in.PC)
+		mispredict = !hit || tgt != in.Target
+		if mispredict {
+			c.stats.MispredBTB++
+		}
+		// The return address (the call's fall-through, carried in
+		// Addr) is pushed regardless of the target prediction.
+		c.ras.Push(in.Addr)
+		if c.cfg.SpecUpdate {
+			c.btb.Insert(in.PC, in.Target)
+		}
+	case trace.Return:
+		tgt, ok := c.ras.Pop()
+		mispredict = !ok || tgt != in.Target
+		if mispredict {
+			c.stats.MispredRAS++
+		}
+	}
+	return mispredict
+}
+
+// dispatchStage moves instructions from the IFQ into the ROB (and
+// LSQ), applying the compute shortcut.
+func (c *CPU) dispatchStage() {
+	for n := 0; n < c.cfg.Width && c.ifqLen > 0; n++ {
+		f := &c.ifq[c.ifqHead]
+		if c.rob.Full() {
+			return
+		}
+		if f.instr.Class.IsMem() && !c.lsq.Alloc() {
+			return
+		}
+		e := c.rob.Push()
+		e.Instr = f.instr
+		e.Seq = f.seq
+		e.Mispredict = f.mispredict
+		c.readyRing[f.seq&c.ringMask] = pipeline.NotReady
+		if f.instr.CompID != 0 && c.shortcut != nil && c.shortcut.Hit(f.instr.CompID) {
+			e.Issued = true
+			e.Precomputed = true
+			e.ReadyAt = c.cycle + 1
+			c.readyRing[f.seq&c.ringMask] = e.ReadyAt
+			c.stats.PrecompHits++
+		}
+		c.ifqHead = (c.ifqHead + 1) % len(c.ifq)
+		c.ifqLen--
+	}
+}
+
+// depsReady reports whether both source operands of e are available.
+func (c *CPU) depsReady(e *pipeline.Entry) bool {
+	if d := e.Instr.Dep1; d > 0 {
+		if c.readyRing[(e.Seq-int64(d))&c.ringMask] > c.cycle {
+			return false
+		}
+	}
+	if d := e.Instr.Dep2; d > 0 {
+		if c.readyRing[(e.Seq-int64(d))&c.ringMask] > c.cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// issueStage selects up to Width ready instructions, oldest first,
+// subject to functional-unit and memory-port availability.
+func (c *CPU) issueStage() {
+	issued := 0
+	portsUsed := 0
+	for i := 0; i < c.rob.Len() && issued < c.cfg.Width; i++ {
+		e := c.rob.At(i)
+		if e.Issued || !c.depsReady(e) {
+			continue
+		}
+		var ready int64
+		switch e.Instr.Class {
+		case trace.IntALU, trace.Branch, trace.Call, trace.Return:
+			if !c.intALU.TryIssue(c.cycle, 1) {
+				continue
+			}
+			ready = c.cycle + int64(c.cfg.IntALULat)
+		case trace.IntMult:
+			if !c.intMD.TryIssue(c.cycle, 1) {
+				continue
+			}
+			ready = c.cycle + int64(c.cfg.IntMultLat)
+		case trace.IntDiv:
+			if !c.intMD.TryIssue(c.cycle, int64(c.cfg.IntDivLat)) {
+				continue
+			}
+			ready = c.cycle + int64(c.cfg.IntDivLat)
+		case trace.FPAdd:
+			if !c.fpALU.TryIssue(c.cycle, 1) {
+				continue
+			}
+			ready = c.cycle + int64(c.cfg.FPALULat)
+		case trace.FPMult:
+			if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPMultLat)) {
+				continue
+			}
+			ready = c.cycle + int64(c.cfg.FPMultLat)
+		case trace.FPDiv:
+			if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPDivLat)) {
+				continue
+			}
+			ready = c.cycle + int64(c.cfg.FPDivLat)
+		case trace.FPSqrt:
+			if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPSqrtLat)) {
+				continue
+			}
+			ready = c.cycle + int64(c.cfg.FPSqrtLat)
+		case trace.Load:
+			if portsUsed >= c.cfg.MemPorts {
+				continue
+			}
+			portsUsed++
+			ready = c.cycle + c.hier.DataAccess(e.Instr.Addr, c.cycle)
+		case trace.Store:
+			if portsUsed >= c.cfg.MemPorts {
+				continue
+			}
+			portsUsed++
+			// Address generation and store-buffer write; the cache is
+			// updated at commit.
+			ready = c.cycle + int64(c.cfg.L1DLat)
+		default:
+			ready = c.cycle + 1
+		}
+		e.Issued = true
+		e.ReadyAt = ready
+		c.readyRing[e.Seq&c.ringMask] = ready
+		if e.Mispredict && e.Seq == c.haltSeq {
+			c.resumeAt = ready + int64(c.cfg.MispredictPenalty)
+		}
+		issued++
+	}
+}
+
+// commitStage retires completed instructions in order, up to Width per
+// cycle, performing store writes, enhancement training, and (in
+// commit-update mode) predictor training.
+func (c *CPU) commitStage() {
+	for n := 0; n < c.cfg.Width && !c.rob.Empty() && c.committed < c.stopAt; n++ {
+		e := c.rob.Head()
+		if !e.Issued || e.ReadyAt > c.cycle {
+			return
+		}
+		in := &e.Instr
+		switch {
+		case in.Class == trace.Load:
+			c.stats.Loads++
+			c.lsq.Release()
+		case in.Class == trace.Store:
+			c.stats.Stores++
+			c.lsq.Release()
+			// The store drains to the cache now; it occupies the DRAM
+			// channel on a miss but does not stall retirement.
+			c.hier.DataAccess(in.Addr, c.cycle)
+		case in.Class.IsControl():
+			c.stats.ControlInstrs++
+			if e.Mispredict {
+				c.stats.Mispredicts++
+			}
+			if c.pred != nil && !c.cfg.SpecUpdate {
+				if in.Class == trace.Branch {
+					c.pred.Update(in.PC, in.Taken)
+				}
+				if in.Taken && in.Class != trace.Return {
+					c.btb.Insert(in.PC, in.Target)
+				}
+			}
+		case in.Class.IsCompute() && in.CompID != 0 && c.shortcut != nil:
+			c.shortcut.Observe(in.CompID)
+		}
+		c.rob.PopHead()
+		c.committed++
+	}
+}

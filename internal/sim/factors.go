@@ -1,0 +1,144 @@
+package sim
+
+import "pbsim/internal/pb"
+
+// PBFactor binds a paper parameter to its effect on the configuration:
+// Apply sets the parameter to its low (-1) or high (+1) Plackett-
+// Burman value from Tables 6-8.
+type PBFactor struct {
+	Factor pb.Factor
+	Apply  func(*Config, pb.Level)
+}
+
+// hiLo returns b on High and a on Low.
+func hiLo[T any](lv pb.Level, a, b T) T {
+	if lv == pb.High {
+		return b
+	}
+	return a
+}
+
+// PBFactors returns the paper's 41 variable parameters, in Tables 6-8
+// order, with the exact low/high values of the paper. Factor names
+// match the rows of Table 9 so output can be compared side by side.
+// The issue/decode/commit width stays fixed at 4 and the coupled
+// (gray-shaded) parameters are derived inside Config, exactly as the
+// paper prescribes.
+func PBFactors() []PBFactor {
+	return []PBFactor{
+		// --- Table 6: processor core ---
+		{pb.Factor{Name: "Instruction Fetch Queue Entries", Low: "4", High: "32"},
+			func(c *Config, lv pb.Level) { c.IFQEntries = hiLo(lv, 4, 32) }},
+		{pb.Factor{Name: "BPred Type", Low: "2-Level", High: "Perfect"},
+			func(c *Config, lv pb.Level) { c.Predictor = hiLo(lv, PredTwoLevel, PredPerfect) }},
+		{pb.Factor{Name: "BPred Misprediction Penalty", Low: "10 cycles", High: "2 cycles"},
+			func(c *Config, lv pb.Level) { c.MispredictPenalty = hiLo(lv, 10, 2) }},
+		{pb.Factor{Name: "Return Address Stack Entries", Low: "4", High: "64"},
+			func(c *Config, lv pb.Level) { c.RASEntries = hiLo(lv, 4, 64) }},
+		{pb.Factor{Name: "BTB Entries", Low: "16", High: "512"},
+			func(c *Config, lv pb.Level) { c.BTBEntries = hiLo(lv, 16, 512) }},
+		{pb.Factor{Name: "BTB Associativity", Low: "2-way", High: "fully-assoc"},
+			func(c *Config, lv pb.Level) { c.BTBAssoc = hiLo(lv, 2, FullyAssociative) }},
+		{pb.Factor{Name: "Speculative Branch Update", Low: "in commit", High: "in decode"},
+			func(c *Config, lv pb.Level) { c.SpecUpdate = lv == pb.High }},
+		{pb.Factor{Name: "Reorder Buffer Entries", Low: "8", High: "64"},
+			func(c *Config, lv pb.Level) { c.ROBEntries = hiLo(lv, 8, 64) }},
+		{pb.Factor{Name: "LSQ Entries", Low: "0.25 * ROB", High: "1.0 * ROB"},
+			func(c *Config, lv pb.Level) { c.LSQRatio = hiLo(lv, 0.25, 1.0) }},
+		{pb.Factor{Name: "Memory Ports", Low: "1", High: "4"},
+			func(c *Config, lv pb.Level) { c.MemPorts = hiLo(lv, 1, 4) }},
+
+		// --- Table 7: functional units ---
+		{pb.Factor{Name: "Int ALUs", Low: "1", High: "4"},
+			func(c *Config, lv pb.Level) { c.IntALUs = hiLo(lv, 1, 4) }},
+		{pb.Factor{Name: "Int ALU Latencies", Low: "2 cycles", High: "1 cycle"},
+			func(c *Config, lv pb.Level) { c.IntALULat = hiLo(lv, 2, 1) }},
+		{pb.Factor{Name: "FP ALUs", Low: "1", High: "4"},
+			func(c *Config, lv pb.Level) { c.FPALUs = hiLo(lv, 1, 4) }},
+		{pb.Factor{Name: "FP ALU Latencies", Low: "5 cycles", High: "1 cycle"},
+			func(c *Config, lv pb.Level) { c.FPALULat = hiLo(lv, 5, 1) }},
+		{pb.Factor{Name: "Int Mult/Div", Low: "1", High: "4"},
+			func(c *Config, lv pb.Level) { c.IntMultDivs = hiLo(lv, 1, 4) }},
+		{pb.Factor{Name: "Int Multiply Latency", Low: "15 cycles", High: "2 cycles"},
+			func(c *Config, lv pb.Level) { c.IntMultLat = hiLo(lv, 15, 2) }},
+		{pb.Factor{Name: "Int Divide Latency", Low: "80 cycles", High: "10 cycles"},
+			func(c *Config, lv pb.Level) { c.IntDivLat = hiLo(lv, 80, 10) }},
+		{pb.Factor{Name: "FP Mult/Div", Low: "1", High: "4"},
+			func(c *Config, lv pb.Level) { c.FPMultDivs = hiLo(lv, 1, 4) }},
+		{pb.Factor{Name: "FP Multiply Latency", Low: "5 cycles", High: "2 cycles"},
+			func(c *Config, lv pb.Level) { c.FPMultLat = hiLo(lv, 5, 2) }},
+		{pb.Factor{Name: "FP Divide Latency", Low: "35 cycles", High: "10 cycles"},
+			func(c *Config, lv pb.Level) { c.FPDivLat = hiLo(lv, 35, 10) }},
+		{pb.Factor{Name: "FP Square Root Latency", Low: "35 cycles", High: "15 cycles"},
+			func(c *Config, lv pb.Level) { c.FPSqrtLat = hiLo(lv, 35, 15) }},
+
+		// --- Table 8: memory hierarchy ---
+		{pb.Factor{Name: "L1 I-Cache Size", Low: "4 KB", High: "128 KB"},
+			func(c *Config, lv pb.Level) { c.L1ISizeKB = hiLo(lv, 4, 128) }},
+		{pb.Factor{Name: "L1 I-Cache Associativity", Low: "1-way", High: "8-way"},
+			func(c *Config, lv pb.Level) { c.L1IAssoc = hiLo(lv, 1, 8) }},
+		{pb.Factor{Name: "L1 I-Cache Block Size", Low: "16 B", High: "64 B"},
+			func(c *Config, lv pb.Level) { c.L1IBlock = hiLo(lv, 16, 64) }},
+		{pb.Factor{Name: "L1 I-Cache Latency", Low: "4 cycles", High: "1 cycle"},
+			func(c *Config, lv pb.Level) { c.L1ILat = hiLo(lv, 4, 1) }},
+		{pb.Factor{Name: "L1 D-Cache Size", Low: "4 KB", High: "128 KB"},
+			func(c *Config, lv pb.Level) { c.L1DSizeKB = hiLo(lv, 4, 128) }},
+		{pb.Factor{Name: "L1 D-Cache Associativity", Low: "1-way", High: "8-way"},
+			func(c *Config, lv pb.Level) { c.L1DAssoc = hiLo(lv, 1, 8) }},
+		{pb.Factor{Name: "L1 D-Cache Block Size", Low: "16 B", High: "64 B"},
+			func(c *Config, lv pb.Level) { c.L1DBlock = hiLo(lv, 16, 64) }},
+		{pb.Factor{Name: "L1 D-Cache Latency", Low: "4 cycles", High: "1 cycle"},
+			func(c *Config, lv pb.Level) { c.L1DLat = hiLo(lv, 4, 1) }},
+		{pb.Factor{Name: "L2 Cache Size", Low: "256 KB", High: "8192 KB"},
+			func(c *Config, lv pb.Level) { c.L2SizeKB = hiLo(lv, 256, 8192) }},
+		{pb.Factor{Name: "L2 Cache Associativity", Low: "1-way", High: "8-way"},
+			func(c *Config, lv pb.Level) { c.L2Assoc = hiLo(lv, 1, 8) }},
+		{pb.Factor{Name: "L2 Cache Block Size", Low: "64 B", High: "256 B"},
+			func(c *Config, lv pb.Level) { c.L2Block = hiLo(lv, 64, 256) }},
+		{pb.Factor{Name: "L2 Cache Latency", Low: "20 cycles", High: "5 cycles"},
+			func(c *Config, lv pb.Level) { c.L2Lat = hiLo(lv, 20, 5) }},
+		{pb.Factor{Name: "Memory Latency First", Low: "200 cycles", High: "50 cycles"},
+			func(c *Config, lv pb.Level) { c.MemLatFirst = hiLo(lv, 200, 50) }},
+		{pb.Factor{Name: "Memory Bandwidth", Low: "4 B", High: "32 B"},
+			func(c *Config, lv pb.Level) { c.MemBWBytes = hiLo(lv, 4, 32) }},
+		{pb.Factor{Name: "I-TLB Size", Low: "32 entries", High: "256 entries"},
+			func(c *Config, lv pb.Level) { c.ITLBEntries = hiLo(lv, 32, 256) }},
+		{pb.Factor{Name: "I-TLB Page Size", Low: "4 KB", High: "4096 KB"},
+			func(c *Config, lv pb.Level) { c.PageKB = hiLo(lv, 4, 4096) }},
+		{pb.Factor{Name: "I-TLB Associativity", Low: "2-way", High: "fully-assoc"},
+			func(c *Config, lv pb.Level) { c.ITLBAssoc = hiLo(lv, 2, FullyAssociative) }},
+		{pb.Factor{Name: "I-TLB Latency", Low: "80 cycles", High: "30 cycles"},
+			func(c *Config, lv pb.Level) { c.ITLBLat = hiLo(lv, 80, 30) }},
+		{pb.Factor{Name: "D-TLB Size", Low: "32 entries", High: "256 entries"},
+			func(c *Config, lv pb.Level) { c.DTLBEntries = hiLo(lv, 32, 256) }},
+		{pb.Factor{Name: "D-TLB Associativity", Low: "2-way", High: "fully-assoc"},
+			func(c *Config, lv pb.Level) { c.DTLBAssoc = hiLo(lv, 2, FullyAssociative) }},
+	}
+}
+
+// Factors returns just the pb.Factor descriptions of PBFactors, for
+// building experiments.
+func Factors() []pb.Factor {
+	pf := PBFactors()
+	out := make([]pb.Factor, len(pf))
+	for i, f := range pf {
+		out[i] = f.Factor
+	}
+	return out
+}
+
+// ConfigForLevels produces the simulator configuration of one PB
+// design row: each of the first len(PBFactors()) levels selects its
+// parameter's low or high value; any further columns are dummy
+// factors and are ignored. The width stays fixed at 4.
+func ConfigForLevels(levels []pb.Level) Config {
+	cfg := Default()
+	cfg.Width = 4
+	for i, f := range PBFactors() {
+		if i >= len(levels) {
+			break
+		}
+		f.Apply(&cfg, levels[i])
+	}
+	return cfg
+}

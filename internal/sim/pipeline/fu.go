@@ -1,0 +1,66 @@
+// Package pipeline provides the out-of-order execution structures of
+// the simulated processor core: functional-unit pools with latency and
+// initiation-interval scheduling, the reorder buffer, and the
+// load-store queue (Tables 6-7 of the paper).
+package pipeline
+
+import "fmt"
+
+// Pool models a group of identical functional units. Each unit can
+// begin a new operation when its previous operation's initiation
+// interval has elapsed; unpipelined units (divide, square root) use an
+// interval equal to their latency.
+type Pool struct {
+	nextFree []int64
+	issued   uint64
+}
+
+// NewPool creates a pool of count units, all free at cycle 0.
+func NewPool(count int) (*Pool, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("pipeline: functional unit count %d invalid", count)
+	}
+	return &Pool{nextFree: make([]int64, count)}, nil
+}
+
+// Size returns the number of units.
+func (p *Pool) Size() int { return len(p.nextFree) }
+
+// Issued returns the number of operations the pool has accepted.
+func (p *Pool) Issued() uint64 { return p.issued }
+
+// TryIssue reserves a unit at the given cycle with the given
+// initiation interval. It reports false when every unit is busy.
+func (p *Pool) TryIssue(cycle, interval int64) bool {
+	if interval < 1 {
+		interval = 1
+	}
+	for i, free := range p.nextFree {
+		if free <= cycle {
+			p.nextFree[i] = cycle + interval
+			p.issued++
+			return true
+		}
+	}
+	return false
+}
+
+// NextFree returns the earliest cycle at which any unit can accept a
+// new operation.
+func (p *Pool) NextFree() int64 {
+	best := p.nextFree[0]
+	for _, f := range p.nextFree[1:] {
+		if f < best {
+			best = f
+		}
+	}
+	return best
+}
+
+// Reset returns all units to the free state.
+func (p *Pool) Reset() {
+	for i := range p.nextFree {
+		p.nextFree[i] = 0
+	}
+	p.issued = 0
+}

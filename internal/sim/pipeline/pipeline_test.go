@@ -1,0 +1,198 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPoolPipelined(t *testing.T) {
+	p, err := NewPool(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 1 {
+		t.Errorf("size = %d", p.Size())
+	}
+	// Interval 1: back-to-back issues every cycle.
+	if !p.TryIssue(0, 1) {
+		t.Fatal("issue at 0 failed")
+	}
+	if p.TryIssue(0, 1) {
+		t.Error("double issue in the same cycle on one unit")
+	}
+	if !p.TryIssue(1, 1) {
+		t.Error("pipelined unit refused next-cycle issue")
+	}
+	if p.Issued() != 2 {
+		t.Errorf("issued = %d", p.Issued())
+	}
+}
+
+func TestPoolUnpipelined(t *testing.T) {
+	// Interval 20 (e.g. an unpipelined divider): the unit is busy for
+	// 20 cycles.
+	p, _ := NewPool(1)
+	if !p.TryIssue(0, 20) {
+		t.Fatal("issue failed")
+	}
+	for c := int64(1); c < 20; c++ {
+		if p.TryIssue(c, 20) {
+			t.Fatalf("unpipelined unit accepted work at cycle %d", c)
+		}
+	}
+	if !p.TryIssue(20, 20) {
+		t.Error("unit still busy after interval elapsed")
+	}
+	if p.NextFree() != 40 {
+		t.Errorf("NextFree = %d", p.NextFree())
+	}
+}
+
+func TestPoolMultipleUnits(t *testing.T) {
+	p, _ := NewPool(3)
+	for i := 0; i < 3; i++ {
+		if !p.TryIssue(0, 10) {
+			t.Fatalf("unit %d refused issue", i)
+		}
+	}
+	if p.TryIssue(0, 10) {
+		t.Error("fourth issue on three units")
+	}
+	p.Reset()
+	if !p.TryIssue(0, 10) || p.Issued() != 1 {
+		t.Error("reset did not free units")
+	}
+	if _, err := NewPool(0); err == nil {
+		t.Error("zero-unit pool accepted")
+	}
+	if p.TryIssue(100, 0) != true {
+		t.Error("interval < 1 should clamp, not fail")
+	}
+}
+
+func TestROBFIFOOrder(t *testing.T) {
+	r, err := NewROB(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Empty() || r.Capacity() != 4 {
+		t.Error("fresh ROB state")
+	}
+	for i := int64(0); i < 4; i++ {
+		e := r.Push()
+		e.Seq = i
+	}
+	if !r.Full() || r.Len() != 4 {
+		t.Error("ROB should be full")
+	}
+	for i := int64(0); i < 4; i++ {
+		if got := r.Head().Seq; got != i {
+			t.Errorf("head seq = %d, want %d", got, i)
+		}
+		r.PopHead()
+	}
+	if !r.Empty() {
+		t.Error("ROB should be empty")
+	}
+}
+
+func TestROBWrapAround(t *testing.T) {
+	r, _ := NewROB(3)
+	seq := int64(0)
+	for round := 0; round < 5; round++ {
+		for !r.Full() {
+			r.Push().Seq = seq
+			seq++
+		}
+		// Verify At indexing across the wrap.
+		for i := 0; i < r.Len(); i++ {
+			if r.At(i).Seq != r.Head().Seq+int64(i) {
+				t.Fatalf("At(%d) out of order after wrap", i)
+			}
+		}
+		r.PopHead()
+		r.PopHead()
+	}
+}
+
+func TestROBPanics(t *testing.T) {
+	r, _ := NewROB(1)
+	mustPanic(t, "PopHead empty", func() { r.PopHead() })
+	r.Push()
+	mustPanic(t, "Push full", func() { r.Push() })
+	mustPanic(t, "At range", func() { r.At(5) })
+	if _, err := NewROB(0); err == nil {
+		t.Error("zero-capacity ROB accepted")
+	}
+	if r.Head() == nil {
+		t.Error("head of non-empty ROB nil")
+	}
+	r.PopHead()
+	if r.Head() != nil {
+		t.Error("head of empty ROB not nil")
+	}
+}
+
+func TestLSQ(t *testing.T) {
+	q, err := NewLSQ(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Capacity() != 2 || q.Len() != 0 || q.Full() {
+		t.Error("fresh LSQ state")
+	}
+	if !q.Alloc() || !q.Alloc() {
+		t.Error("alloc within capacity failed")
+	}
+	if q.Alloc() {
+		t.Error("alloc beyond capacity succeeded")
+	}
+	q.Release()
+	if !q.Alloc() {
+		t.Error("alloc after release failed")
+	}
+	if _, err := NewLSQ(0); err == nil {
+		t.Error("zero-capacity LSQ accepted")
+	}
+	empty, _ := NewLSQ(1)
+	mustPanic(t, "Release empty", func() { empty.Release() })
+}
+
+func TestPropROBCountConsistent(t *testing.T) {
+	f := func(ops []bool, capSel uint8) bool {
+		capacity := int(capSel%7) + 1
+		r, err := NewROB(capacity)
+		if err != nil {
+			return false
+		}
+		model := 0
+		for _, push := range ops {
+			if push {
+				if !r.Full() {
+					r.Push()
+					model++
+				}
+			} else if !r.Empty() {
+				r.PopHead()
+				model--
+			}
+			if r.Len() != model || r.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

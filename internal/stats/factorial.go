@@ -1,0 +1,184 @@
+// Package stats implements the statistical designs the paper compares
+// the Plackett-Burman design against (Section 2, Table 1): the
+// one-at-a-time single-parameter sensitivity analysis and the full
+// 2^k multifactorial design with analysis of variance (ANOVA), plus
+// small descriptive-statistics helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// FullFactorial enumerates every combination of k two-level factors:
+// 2^k rows of levels, each level -1 or +1. Row i sets factor j high
+// when bit j of i is set, so row 0 is all-low and row 2^k-1 all-high.
+func FullFactorial(k int) ([][]int8, error) {
+	if k < 1 || k > 20 {
+		return nil, fmt.Errorf("stats: full factorial supports 1..20 factors, got %d", k)
+	}
+	n := 1 << uint(k)
+	rows := make([][]int8, n)
+	backing := make([]int8, n*k)
+	for i := 0; i < n; i++ {
+		row := backing[i*k : (i+1)*k]
+		for j := 0; j < k; j++ {
+			if i&(1<<uint(j)) != 0 {
+				row[j] = +1
+			} else {
+				row[j] = -1
+			}
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}
+
+// ANOVATerm is one effect in a 2^k factorial analysis: a main effect
+// (one factor) or an interaction (several factors).
+type ANOVATerm struct {
+	// Factors holds the indices of the interacting factors; a single
+	// index denotes a main effect.
+	Factors []int
+	// Effect is the classical effect estimate: the average response
+	// change when the term's contrast moves from -1 to +1.
+	Effect float64
+	// SS is the term's sum of squares.
+	SS float64
+	// Percent is SS as a percentage of the total sum of squares
+	// (allocation of variation).
+	Percent float64
+}
+
+// Label renders the term as "A", "BxC", "AxBxD", ... using the given
+// factor names (or letters if names is nil).
+func (t *ANOVATerm) Label(names []string) string {
+	s := ""
+	for i, f := range t.Factors {
+		if i > 0 {
+			s += "x"
+		}
+		if names != nil && f < len(names) {
+			s += names[f]
+		} else {
+			s += string(rune('A' + f))
+		}
+	}
+	return s
+}
+
+// ANOVAResult is the complete decomposition of a 2^k experiment.
+type ANOVAResult struct {
+	K     int
+	Terms []ANOVATerm // sorted by descending SS
+	// TotalSS is the total sum of squares around the grand mean. For a
+	// single-replicate 2^k design it equals the sum of all term SS.
+	TotalSS   float64
+	GrandMean float64
+}
+
+// ANOVA performs the full 2^k factorial analysis of variance on a
+// single-replicate experiment. responses must follow the FullFactorial
+// row order. Every main effect and every interaction up to order k is
+// estimated via the Yates/contrast method, and the total variation is
+// allocated across the terms (Lilja, "Measuring Computer Performance",
+// chapter 9).
+func ANOVA(k int, responses []float64) (*ANOVAResult, error) {
+	n := 1 << uint(k)
+	if len(responses) != n {
+		return nil, fmt.Errorf("stats: got %d responses for a 2^%d design (want %d)", len(responses), k, n)
+	}
+	grand := 0.0
+	for _, y := range responses {
+		grand += y
+	}
+	grand /= float64(n)
+
+	res := &ANOVAResult{K: k, GrandMean: grand}
+	for _, y := range responses {
+		d := y - grand
+		res.TotalSS += d * d
+	}
+
+	// Every non-empty subset of factors is a term. The contrast of
+	// term mask m on row i is the product of the levels of the
+	// factors in m, i.e. +1 when popcount(i&m) has even complement...
+	// concretely: product = -1 raised to the number of low factors in
+	// the subset, which is (bits in m) - (bits in i&m).
+	for m := 1; m < n; m++ {
+		contrast := 0.0
+		for i, y := range responses {
+			lowCount := bits.OnesCount(uint(m)) - bits.OnesCount(uint(i&m))
+			if lowCount%2 == 0 {
+				contrast += y
+			} else {
+				contrast -= y
+			}
+		}
+		term := ANOVATerm{
+			Effect: contrast / float64(n/2),
+			SS:     contrast * contrast / float64(n),
+		}
+		for j := 0; j < k; j++ {
+			if m&(1<<uint(j)) != 0 {
+				term.Factors = append(term.Factors, j)
+			}
+		}
+		res.Terms = append(res.Terms, term)
+	}
+	if res.TotalSS > 0 {
+		for i := range res.Terms {
+			res.Terms[i].Percent = 100 * res.Terms[i].SS / res.TotalSS
+		}
+	}
+	sort.SliceStable(res.Terms, func(a, b int) bool {
+		return res.Terms[a].SS > res.Terms[b].SS
+	})
+	return res, nil
+}
+
+// MainEffects returns only the single-factor terms of an ANOVA result,
+// indexed by factor.
+func (r *ANOVAResult) MainEffects() []ANOVATerm {
+	out := make([]ANOVATerm, r.K)
+	for _, t := range r.Terms {
+		if len(t.Factors) == 1 {
+			out[t.Factors[0]] = t
+		}
+	}
+	return out
+}
+
+// InteractionShare returns the percentage of total variation explained
+// by terms of order >= 2: the quantity whose smallness justifies using
+// a PB design instead of a full factorial (paper Section 2.2).
+func (r *ANOVAResult) InteractionShare() float64 {
+	share := 0.0
+	for _, t := range r.Terms {
+		if len(t.Factors) >= 2 {
+			share += t.Percent
+		}
+	}
+	return share
+}
+
+// SimulationCount mirrors the paper's Table 1: the number of
+// simulations required by each of the three designs for n two-level
+// parameters. PB counts are for the foldover design (2X).
+type SimulationCount struct {
+	OneAtATime     int
+	PlackettBurman int
+	FullFactorial  float64 // float64: 2^n overflows int for n >= 63
+}
+
+// CountSimulations computes Table 1's middle column for n parameters.
+// The PB count is 0 if no supported design size exists.
+func CountSimulations(n int, pbRuns int) SimulationCount {
+	return SimulationCount{
+		OneAtATime:     n + 1,
+		PlackettBurman: pbRuns,
+		FullFactorial:  math.Pow(2, float64(n)),
+	}
+}

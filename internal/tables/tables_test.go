@@ -1,0 +1,74 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRender(t *testing.T) {
+	tbl := New("Table X: Demo", "Name", "Value").AlignRight(1)
+	tbl.AddRow("alpha", 12)
+	tbl.AddRow("b", 3.5)
+	tbl.AddRow("gamma-long-name", 1234)
+	out := tbl.String()
+	if !strings.HasPrefix(out, "Table X: Demo\n") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "Name") || !strings.Contains(lines[1], "Value") {
+		t.Errorf("header line: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator line: %q", lines[2])
+	}
+	// Right-aligned numeric column: "12" should end the row.
+	if !strings.HasSuffix(lines[3], "12") {
+		t.Errorf("row: %q", lines[3])
+	}
+	if !strings.Contains(out, "3.5") {
+		t.Errorf("float formatting lost: %s", out)
+	}
+	if tbl.NumRows() != 3 {
+		t.Errorf("NumRows = %d", tbl.NumRows())
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		3:      "3",
+		3.5:    "3.5",
+		89.76:  "89.8",
+		-2:     "-2",
+		1364.2: "1364.2",
+	}
+	for in, want := range cases {
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNoTitleNoHeaders(t *testing.T) {
+	tbl := &Table{RightAlign: map[int]bool{}}
+	tbl.AddRow("a", "b")
+	out := tbl.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("unexpected separator without headers:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+}
+
+func TestRaggedRows(t *testing.T) {
+	tbl := New("", "A", "B")
+	tbl.AddRow("one")
+	tbl.AddRow("x", "y", "z") // wider than the header
+	out := tbl.String()
+	if !strings.Contains(out, "z") {
+		t.Errorf("extra column dropped:\n%s", out)
+	}
+}

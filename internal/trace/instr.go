@@ -1,0 +1,96 @@
+package trace
+
+// Class identifies the functional-unit class and pipeline treatment of
+// an instruction.
+type Class uint8
+
+// Instruction classes. The compute classes map one-to-one onto the
+// functional-unit pools of Tables 6-7 of the paper.
+const (
+	IntALU Class = iota // add/sub/logic/compare
+	IntMult
+	IntDiv
+	FPAdd // "FP ALU" operations
+	FPMult
+	FPDiv
+	FPSqrt
+	Load
+	Store
+	Branch // conditional branch
+	Call   // direct call (pushes the return-address stack)
+	Return // return (pops the return-address stack)
+	NumClasses
+)
+
+// String names the class for statistics output.
+func (c Class) String() string {
+	switch c {
+	case IntALU:
+		return "IntALU"
+	case IntMult:
+		return "IntMult"
+	case IntDiv:
+		return "IntDiv"
+	case FPAdd:
+		return "FPAdd"
+	case FPMult:
+		return "FPMult"
+	case FPDiv:
+		return "FPDiv"
+	case FPSqrt:
+		return "FPSqrt"
+	case Load:
+		return "Load"
+	case Store:
+		return "Store"
+	case Branch:
+		return "Branch"
+	case Call:
+		return "Call"
+	case Return:
+		return "Return"
+	default:
+		return "Class(?)"
+	}
+}
+
+// IsMem reports whether the class occupies a load-store queue entry
+// and a memory port.
+func (c Class) IsMem() bool { return c == Load || c == Store }
+
+// IsControl reports whether the class is a control-flow instruction.
+func (c Class) IsControl() bool { return c == Branch || c == Call || c == Return }
+
+// IsCompute reports whether the class executes on an arithmetic
+// functional unit (and is therefore eligible for instruction
+// precomputation).
+func (c Class) IsCompute() bool {
+	switch c {
+	case IntALU, IntMult, IntDiv, FPAdd, FPMult, FPDiv, FPSqrt:
+		return true
+	}
+	return false
+}
+
+// Instr is one dynamic instruction of a synthetic stream.
+type Instr struct {
+	// PC is the instruction address (4-byte instructions).
+	PC uint64
+	// Class selects the functional unit / pipeline treatment.
+	Class Class
+	// Dep1 and Dep2 are register-dependency back-distances: this
+	// instruction reads the results of the instructions Dep1 and Dep2
+	// positions earlier in the stream (0 means no dependency).
+	Dep1, Dep2 int32
+	// Addr is the effective address of a Load or Store.
+	Addr uint64
+	// Taken is the actual outcome of a control instruction.
+	Taken bool
+	// Target is the actual target address of a taken control
+	// instruction.
+	Target uint64
+	// CompID identifies a redundant computation: instructions with the
+	// same nonzero CompID compute the same value from the same inputs,
+	// the property instruction precomputation (Section 4.3) exploits.
+	CompID uint32
+}

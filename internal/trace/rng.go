@@ -1,0 +1,97 @@
+// Package trace generates deterministic synthetic instruction streams
+// that stand in for the paper's SPEC 2000 / MinneSPEC workloads (see
+// DESIGN.md, "Substitutions"). A stream is defined by statistical
+// parameters -- instruction mix, basic-block structure, branch-pattern
+// predictability, memory working set and locality, dependency
+// distances, and redundant-computation frequency -- and is reproduced
+// exactly from its seed, so every simulator configuration in a
+// Plackett-Burman experiment observes the identical instruction
+// sequence.
+package trace
+
+import "math"
+
+// RNG is a splitmix64 pseudo-random generator: tiny, fast, and
+// deterministic across platforms, which the experiment methodology
+// requires (every design row must see the same workload).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. Distinct seeds give independent streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Geometric returns a sample from a geometric distribution with the
+// given mean (>= 1): the number of trials until first success, so the
+// result is always >= 1.
+func (r *RNG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for r.Float64() > p && n < 1024 {
+		n++
+	}
+	return n
+}
+
+// Zipf samples ranks 1..n with probability proportional to
+// 1/rank^s using a precomputed cumulative table.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), s)
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// Next returns a rank in [1, n]; rank 1 is the most frequent.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
