@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race short bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The runner's concurrency tests (cancellation draining, checkpoint
+# contention, worker-pool scheduling) must pass under the race
+# detector; this is the CI gate.
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+check: build vet race

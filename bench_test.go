@@ -240,7 +240,7 @@ func BenchmarkAblationFoldover(b *testing.B) {
 // benchmarks above.
 func BenchmarkAblationOneAtATime(b *testing.B) {
 	ws := benchWorkloads(b, "gzip")
-	resp := experiment.Response(ws[0], benchWarmup, benchInstr, nil)
+	resp := experiment.Response(ws[0], benchWarmup, benchInstr, nil).Must()
 	base := make([]int8, 41)
 	for i := range base {
 		base[i] = -1

@@ -7,12 +7,17 @@
 // Usage:
 //
 //	pbclassify [-source paper|sim] [-threshold 63.25] [-dendrogram] [-n 100000]
+//	           [-timeout 0] [-retries 0] [-checkpoint classify.jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"pbsim/internal/cluster"
 	"pbsim/internal/experiment"
@@ -21,17 +26,29 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pbclassify: error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	source := flag.String("source", "paper", "rank source: 'paper' (published Table 9) or 'sim' (fresh measurement)")
 	threshold := flag.Float64("threshold", paperdata.Threshold, "similarity threshold (paper uses sqrt(4000) ~ 63.2); 0 selects the 15th percentile of measured distances")
 	dendro := flag.Bool("dendrogram", false, "also print a single-linkage clustering dendrogram")
 	n := flag.Int64("n", experiment.DefaultInstructions, "instructions per configuration when -source sim")
 	warmup := flag.Int64("warmup", experiment.DefaultWarmup, "warmup instructions when -source sim")
+	timeout := flag.Duration("timeout", 0, "per-configuration timeout when -source sim (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed configuration when -source sim")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file when -source sim")
 	flag.Parse()
 
-	m, err := buildMatrix(*source, *n, *warmup)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	m, err := buildMatrix(ctx, *source, *n, *warmup, *timeout, *retries, *checkpoint)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbclassify: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Println(report.DistanceTable(m, "Table 10: Distance Between Benchmark Vectors, Based on Parameter Ranks"))
 	cut := *threshold
@@ -43,17 +60,21 @@ func main() {
 	if *dendro {
 		fmt.Println(cluster.Agglomerate(m, cluster.SingleLinkage).ASCII())
 	}
+	return nil
 }
 
-func buildMatrix(source string, n, warmup int64) (*cluster.Matrix, error) {
+func buildMatrix(ctx context.Context, source string, n, warmup int64, timeout time.Duration, retries int, checkpoint string) (*cluster.Matrix, error) {
 	switch source {
 	case "paper":
 		return cluster.DistanceMatrix(paperdata.Benchmarks, paperdata.RankVectors(paperdata.Table9))
 	case "sim":
-		suite, err := experiment.RunSuite(experiment.Options{
+		suite, err := experiment.RunSuiteCtx(ctx, experiment.Options{
 			Instructions: n,
 			Warmup:       warmup,
 			Foldover:     true,
+			Timeout:      timeout,
+			Retries:      retries,
+			Checkpoint:   checkpoint,
 		})
 		if err != nil {
 			return nil, err

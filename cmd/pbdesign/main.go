@@ -16,6 +16,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pbdesign: error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	x := flag.Int("x", 8, "base design size (a supported multiple of four)")
 	foldover := flag.Bool("foldover", false, "append the foldover rows (Table 3)")
 	example := flag.Bool("example", false, "print the paper's worked effects example (Table 4)")
@@ -27,20 +34,18 @@ func main() {
 	}
 	d, err := pb.NewWithSize(*x, *foldover)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbdesign: %v\nsupported sizes: %v\n", err, pb.SupportedSizes())
-		os.Exit(1)
+		return fmt.Errorf("%w (supported sizes: %v)", err, pb.SupportedSizes())
 	}
 	if err := pb.Verify(d); err != nil {
-		fmt.Fprintf(os.Stderr, "pbdesign: internal design verification failed: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("internal design verification failed: %w", err)
 	}
 	fmt.Println(report.DesignMatrix(d))
 	if *example {
 		out, err := report.WorkedExample()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pbdesign: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(out)
 	}
+	return nil
 }

@@ -4,62 +4,86 @@
 // by default, or dynamic value reuse), then compares the sum-of-ranks
 // of every parameter before and after.
 //
+// Both suites are fault tolerant (-timeout, -retries) and share one
+// -checkpoint file: the base and enhanced runs are journaled under
+// distinct labels, so an interrupted comparison resumes without
+// repeating either phase's completed configurations.
+//
 // Usage:
 //
 //	pbenhance [-mechanism precompute|valuereuse] [-table 128] [-n 100000]
+//	          [-timeout 0] [-retries 0] [-checkpoint enhance.jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pbsim/internal/enhance"
 	"pbsim/internal/experiment"
 	"pbsim/internal/methodology"
 	"pbsim/internal/paperdata"
 	"pbsim/internal/report"
+	"pbsim/internal/runner"
 	"pbsim/internal/sim"
 	"pbsim/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pbenhance: error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	mechanism := flag.String("mechanism", "precompute", "enhancement: 'precompute' (static table) or 'valuereuse' (dynamic)")
 	tableSize := flag.Int("table", 128, "enhancement table entries (paper uses 128)")
 	n := flag.Int64("n", experiment.DefaultInstructions, "instructions measured per configuration")
 	warmup := flag.Int64("warmup", experiment.DefaultWarmup, "warmup instructions per configuration")
 	par := flag.Int("par", 0, "parallel simulations (default GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-configuration timeout (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed configuration")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file shared by the base and enhanced suites")
 	compare := flag.Bool("compare", false, "print the enhanced ordering next to the paper's Table 12 sums")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	factory, err := shortcutFactory(*mechanism, *tableSize, *warmup+*n)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbenhance: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	opts := experiment.Options{
 		Instructions: *n,
 		Warmup:       *warmup,
 		Foldover:     true,
 		Parallelism:  *par,
+		Timeout:      *timeout,
+		Retries:      *retries,
+		Checkpoint:   *checkpoint,
+		Label:        "base",
 	}
-	before, err := experiment.RunSuite(opts)
+	before, err := experiment.RunSuiteCtx(ctx, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbenhance: base experiment: %v\n", err)
-		os.Exit(1)
+		return phaseErr("base experiment", err, *checkpoint)
 	}
 	opts.Shortcut = factory
-	after, err := experiment.RunSuite(opts)
+	opts.Label = fmt.Sprintf("%s-%d", *mechanism, *tableSize)
+	after, err := experiment.RunSuiteCtx(ctx, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbenhance: enhanced experiment: %v\n", err)
-		os.Exit(1)
+		return phaseErr("enhanced experiment", err, *checkpoint)
 	}
 	fmt.Println(report.RankTable(after,
 		fmt.Sprintf("Table 12: Plackett and Burman Design Results With %s (%d-entry table)", *mechanism, *tableSize)))
 	shifts, err := methodology.CompareEnhancement(before, after)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbenhance: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Println(report.ShiftTable(shifts, "Section 4.3: parameter significance before vs after the enhancement"))
 	cut := 10
@@ -73,6 +97,16 @@ func main() {
 		fmt.Println(report.RankTableWithPaper(after, paperdata.Table12,
 			"Enhanced ordering vs the paper's published Table 12"))
 	}
+	return nil
+}
+
+// phaseErr annotates a suite failure with its phase and, for an
+// interrupted checkpointed run, the resume hint.
+func phaseErr(phase string, err error, checkpoint string) error {
+	if runner.Cancelled(err) && checkpoint != "" {
+		return fmt.Errorf("%s: %w (rerun with -checkpoint %s to resume)", phase, err, checkpoint)
+	}
+	return fmt.Errorf("%s: %w", phase, err)
 }
 
 func shortcutFactory(mechanism string, tableSize int, profileLen int64) (experiment.ShortcutFactory, error) {

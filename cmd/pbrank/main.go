@@ -4,27 +4,46 @@
 // benchmark by the magnitude of its effect on execution time, and
 // sorts the parameters by their sum of ranks.
 //
+// The suite is fault tolerant: -timeout bounds each configuration,
+// -retries re-runs failed configurations with capped backoff, and
+// -checkpoint journals completed configurations to a JSONL file so an
+// interrupted run (Ctrl-C included) resumes exactly where it stopped.
+//
 // Usage:
 //
-//	pbrank [-n 100000] [-warmup 30000] [-benchmarks gzip,mcf,...] [-compare] [-gap]
+//	pbrank [-n 100000] [-warmup 30000] [-benchmarks gzip,mcf,...]
+//	       [-timeout 0] [-retries 0] [-checkpoint suite.jsonl]
+//	       [-compare] [-gap]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"pbsim/internal/experiment"
 	"pbsim/internal/methodology"
 	"pbsim/internal/paperdata"
 	"pbsim/internal/pb"
 	"pbsim/internal/report"
+	"pbsim/internal/runner"
 	"pbsim/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "pbrank: error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	n := flag.Int64("n", experiment.DefaultInstructions, "instructions measured per configuration")
 	warmup := flag.Int64("warmup", experiment.DefaultWarmup, "warmup instructions per configuration")
 	benchList := flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all 13)")
@@ -33,25 +52,47 @@ func main() {
 	pov := flag.Bool("pov", false, "print percent-of-variation dominance per benchmark (exposes what ranks hide)")
 	stability := flag.Bool("stability", false, "print leave-one-benchmark-out stability of the ordering")
 	par := flag.Int("par", 0, "parallel simulations (default GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "per-configuration timeout (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed configuration")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; an interrupted run resumes from it")
+	verbose := flag.Bool("v", false, "log retries and checkpoint restores")
 	csvRanks := flag.String("csv", "", "also write the rank matrix to this CSV file")
 	csvRaw := flag.String("csv-raw", "", "also write raw per-configuration cycle counts to this CSV file")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ws, err := selectWorkloads(*benchList)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	suite, err := experiment.RunSuite(experiment.Options{
+	opts := experiment.Options{
 		Instructions: *n,
 		Warmup:       *warmup,
 		Foldover:     true,
 		Parallelism:  *par,
 		Workloads:    ws,
-	})
+		Timeout:      *timeout,
+		Retries:      *retries,
+		Checkpoint:   *checkpoint,
+	}
+	if *verbose {
+		opts.OnRetry = func(scope string, row, attempt int, delay time.Duration, err error) {
+			fmt.Fprintf(os.Stderr, "pbrank: retrying %s row %d (attempt %d, in %v): %v\n", scope, row, attempt, delay, err)
+		}
+		opts.OnRow = func(scope string, row int, _ float64, fromCheckpoint bool) {
+			if fromCheckpoint {
+				fmt.Fprintf(os.Stderr, "pbrank: %s row %d restored from checkpoint\n", scope, row)
+			}
+		}
+	}
+	suite, err := experiment.RunSuiteCtx(ctx, opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
-		os.Exit(1)
+		if runner.Cancelled(err) && *checkpoint != "" {
+			return fmt.Errorf("%w (completed configurations are saved; rerun with -checkpoint %s to resume)", err, *checkpoint)
+		}
+		return err
 	}
 	fmt.Println(report.RankTable(suite,
 		fmt.Sprintf("Table 9: Plackett and Burman Design Results (X=%d foldover, %d configurations, %d instructions/run)",
@@ -67,28 +108,24 @@ func main() {
 	if *pov {
 		out, err := report.DominanceTable(suite, 5)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println(out)
 	}
 	if *csvRanks != "" {
 		if err := writeCSV(*csvRanks, suite, experiment.WriteRanksCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	if *csvRaw != "" {
 		if err := writeCSV(*csvRaw, suite, experiment.WriteResponsesCSV); err != nil {
-			fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
 	if *stability {
 		rep, err := methodology.Jackknife(suite)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pbrank: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Println("Leave-one-benchmark-out stability (position envelope per factor):")
 		for _, fs := range rep.ByFullPosition() {
@@ -96,6 +133,7 @@ func main() {
 				fs.FullPosition, fs.Factor.Name, fs.MinPosition, fs.MaxPosition, fs.Spread)
 		}
 	}
+	return nil
 }
 
 func selectWorkloads(list string) ([]workload.Workload, error) {

@@ -1,48 +1,111 @@
 // Command simrun executes one processor simulation: a chosen synthetic
 // benchmark on a chosen configuration, printing the full statistics
-// report.
+// report. With -bench all, the benchmarks are evaluated through the
+// fault-tolerant runner: -timeout bounds each simulation, -retries
+// re-runs failures, and -checkpoint journals finished benchmarks so a
+// rerun skips them (restored benchmarks report their cycle count; the
+// full statistics are only printed for freshly simulated runs).
 //
 // Usage:
 //
-//	simrun [-bench gzip] [-n 100000] [-warmup 30000] [-config default|all-low|all-high] [-precompute 0]
+//	simrun [-bench gzip] [-n 100000] [-warmup 30000]
+//	       [-config default|all-low|all-high] [-precompute 0]
+//	       [-timeout 0] [-retries 0] [-checkpoint simrun.jsonl]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"pbsim/internal/enhance"
 	"pbsim/internal/pb"
 	"pbsim/internal/report"
+	"pbsim/internal/runner"
 	"pbsim/internal/sim"
 	"pbsim/internal/workload"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "simrun: error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	bench := flag.String("bench", "gzip", "benchmark name (or 'all')")
 	n := flag.Int64("n", 100000, "instructions to measure")
 	warmup := flag.Int64("warmup", 30000, "instructions to warm up before measuring")
 	configSel := flag.String("config", "default", "configuration: default, all-low, or all-high")
 	precompute := flag.Int("precompute", 0, "enable instruction precomputation with a table of this many entries")
+	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed simulation")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; finished benchmarks are skipped on rerun")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg, err := selectConfig(*configSel)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simrun: %v\n", err)
-		os.Exit(1)
+		return err
 	}
 	names := []string{*bench}
 	if *bench == "all" {
 		names = workload.Names()
 	}
-	for _, name := range names {
-		if err := runOne(name, cfg, *n, *warmup, *precompute); err != nil {
-			fmt.Fprintf(os.Stderr, "simrun: %v\n", err)
-			os.Exit(1)
-		}
+
+	rcfg := runner.Config{
+		Parallelism: 1, // keep reports in benchmark order
+		Timeout:     *timeout,
+		Retries:     *retries,
+		Scope:       "simrun",
 	}
+	if *checkpoint != "" {
+		fp := fmt.Sprintf("simrun|config=%s|n=%d|warmup=%d|precompute=%d", *configSel, *n, *warmup, *precompute)
+		cp, err := runner.OpenCheckpoint(*checkpoint, fp)
+		if err != nil {
+			return err
+		}
+		defer cp.Close()
+		rcfg.Checkpoint = cp
+	}
+
+	// Row i simulates names[i]; restored rows leave stats[i] nil and
+	// report only the checkpointed cycle count.
+	stats := make([]*sim.Stats, len(names))
+	task := func(ctx context.Context, i int) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s, err := runOne(names[i], cfg, *n, *warmup, *precompute)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", names[i], err)
+		}
+		stats[i] = &s
+		return float64(s.Cycles), nil
+	}
+	cycles, err := runner.Evaluate(ctx, len(names), task, rcfg)
+	if err != nil {
+		if runner.Cancelled(err) && *checkpoint != "" {
+			return fmt.Errorf("%w (rerun with -checkpoint %s to skip finished benchmarks)", err, *checkpoint)
+		}
+		return err
+	}
+	for i, name := range names {
+		if stats[i] == nil {
+			fmt.Printf("%s: %.0f cycles (restored from checkpoint; rerun without -checkpoint for the full report)\n",
+				name, cycles[i])
+			continue
+		}
+		fmt.Println(report.SimStats(name, *stats[i]))
+	}
+	return nil
 }
 
 func selectConfig(sel string) (sim.Config, error) {
@@ -64,36 +127,31 @@ func selectConfig(sel string) (sim.Config, error) {
 	}
 }
 
-func runOne(name string, cfg sim.Config, n, warmup int64, precompute int) error {
+func runOne(name string, cfg sim.Config, n, warmup int64, precompute int) (sim.Stats, error) {
 	w, err := workload.ByName(name)
 	if err != nil {
-		return err
+		return sim.Stats{}, err
 	}
 	gen, err := w.NewGenerator()
 	if err != nil {
-		return err
+		return sim.Stats{}, err
 	}
 	var shortcut sim.ComputeShortcut
 	if precompute > 0 {
 		freq, err := enhance.Profile(w.Params, warmup+n)
 		if err != nil {
-			return err
+			return sim.Stats{}, err
 		}
 		table, err := enhance.NewPrecomputation(freq, precompute)
 		if err != nil {
-			return err
+			return sim.Stats{}, err
 		}
 		shortcut = table
 	}
 	cpu, err := sim.New(cfg, gen, shortcut)
 	if err != nil {
-		return err
+		return sim.Stats{}, err
 	}
 	cpu.PrewarmMemory()
-	stats, err := cpu.RunWithWarmup(warmup, n)
-	if err != nil {
-		return err
-	}
-	fmt.Println(report.SimStats(name, stats))
-	return nil
+	return cpu.RunWithWarmup(warmup, n)
 }

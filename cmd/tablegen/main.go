@@ -1,20 +1,27 @@
 // Command tablegen regenerates every table of the paper into an
 // output directory: the static tables (1-8) directly and the
 // experimental tables (9-12) by running the full Plackett-Burman
-// experiments on the simulator.
+// experiments on the simulator. The experimental runs are fault
+// tolerant: -timeout, -retries, and -checkpoint behave as in pbrank,
+// and Ctrl-C leaves a resumable checkpoint instead of lost work.
 //
 // Usage:
 //
 //	tablegen [-out out] [-table 0] [-n 100000] [-warmup 30000]
+//	         [-timeout 0] [-retries 0] [-checkpoint tables.jsonl]
 //
 // With -table 0 (the default) all tables are generated.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
+	"time"
 
 	"pbsim/internal/cluster"
 	"pbsim/internal/enhance"
@@ -28,16 +35,32 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tablegen: error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	out := flag.String("out", "out", "output directory")
 	table := flag.Int("table", 0, "table to generate (1..12, 0 = all)")
 	n := flag.Int64("n", experiment.DefaultInstructions, "instructions per configuration for tables 9-12")
 	warmup := flag.Int64("warmup", experiment.DefaultWarmup, "warmup instructions per configuration")
 	par := flag.Int("par", 0, "parallel simulations")
+	timeout := flag.Duration("timeout", 0, "per-configuration timeout (0 = none)")
+	retries := flag.Int("retries", 0, "extra attempts for a failed configuration")
+	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file shared by all experimental tables")
 	flag.Parse()
 
-	g := &generator{out: *out, n: *n, warmup: *warmup, par: *par}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	g := &generator{
+		ctx: ctx, out: *out, n: *n, warmup: *warmup, par: *par,
+		timeout: *timeout, retries: *retries, checkpoint: *checkpoint,
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+		return err
 	}
 	steps := map[int]func() error{
 		1: g.table1, 2: g.table2, 3: g.table3, 4: g.table4,
@@ -47,30 +70,27 @@ func main() {
 	if *table != 0 {
 		step, ok := steps[*table]
 		if !ok {
-			fatal(fmt.Errorf("unknown table %d", *table))
+			return fmt.Errorf("unknown table %d", *table)
 		}
-		if err := step(); err != nil {
-			fatal(err)
-		}
-		return
+		return step()
 	}
 	for _, i := range []int{1, 2, 3, 4, 5, 6, 9, 10, 12} {
 		if err := steps[i](); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "tablegen: %v\n", err)
-	os.Exit(1)
+	return nil
 }
 
 type generator struct {
-	out    string
-	n      int64
-	warmup int64
-	par    int
+	ctx        context.Context
+	out        string
+	n          int64
+	warmup     int64
+	par        int
+	timeout    time.Duration
+	retries    int
+	checkpoint string
 	// cached experiment results shared between tables
 	base *pb.Suite
 }
@@ -120,16 +140,24 @@ func (g *generator) tables678() error {
 	return g.write("table06_07_08_parameters.txt", report.ParameterValues())
 }
 
-func (g *generator) baseSuite() (*pb.Suite, error) {
-	if g.base != nil {
-		return g.base, nil
-	}
-	suite, err := experiment.RunSuite(experiment.Options{
+func (g *generator) options(label string) experiment.Options {
+	return experiment.Options{
 		Instructions: g.n,
 		Warmup:       g.warmup,
 		Foldover:     true,
 		Parallelism:  g.par,
-	})
+		Timeout:      g.timeout,
+		Retries:      g.retries,
+		Checkpoint:   g.checkpoint,
+		Label:        label,
+	}
+}
+
+func (g *generator) baseSuite() (*pb.Suite, error) {
+	if g.base != nil {
+		return g.base, nil
+	}
+	suite, err := experiment.RunSuiteCtx(g.ctx, g.options("base"))
 	if err != nil {
 		return nil, err
 	}
@@ -182,15 +210,11 @@ func (g *generator) table12() error {
 		}
 		profiles[w.Name] = freq
 	}
-	after, err := experiment.RunSuite(experiment.Options{
-		Instructions: g.n,
-		Warmup:       g.warmup,
-		Foldover:     true,
-		Parallelism:  g.par,
-		Shortcut: func(w workload.Workload) (sim.ComputeShortcut, error) {
-			return enhance.NewPrecomputation(profiles[w.Name], 128)
-		},
-	})
+	opts := g.options("precompute-128")
+	opts.Shortcut = func(w workload.Workload) (sim.ComputeShortcut, error) {
+		return enhance.NewPrecomputation(profiles[w.Name], 128)
+	}
+	after, err := experiment.RunSuiteCtx(g.ctx, opts)
 	if err != nil {
 		return err
 	}

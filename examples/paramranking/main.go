@@ -53,7 +53,7 @@ func main() {
 
 	// Step 3: full-factorial sensitivity analysis over the critical
 	// parameters for one benchmark, non-critical parameters held high.
-	resp := experiment.Response(ws[0], warmup, instructions, nil)
+	resp := experiment.Response(ws[0], warmup, instructions, nil).Must()
 	sens, err := methodology.SensitivityAnalysis(suite.Design.Columns, screening.Critical, resp, pb.High)
 	if err != nil {
 		panic(err)

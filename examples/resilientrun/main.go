@@ -1,0 +1,168 @@
+// Example resilientrun demonstrates the fault-tolerant experiment
+// runner on a small Plackett-Burman suite. It runs the same
+// three-benchmark experiment twice:
+//
+//  1. Under heavy injected faults — seeded transient failures on ~15%
+//     of attempts, a row that panics on its first attempt, and a row
+//     whose first attempt exceeds the per-row timeout — and shows the
+//     suite completing anyway via retries with capped backoff.
+//
+//  2. Interrupted mid-suite (a simulated crash after a fixed number of
+//     row evaluations) with a JSONL checkpoint, then resumed: the
+//     resumed run re-simulates only the missing rows and reproduces
+//     the identical sum-of-ranks ordering.
+//
+// Run it with:
+//
+//	go run ./examples/resilientrun
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"pbsim/internal/pb"
+	"pbsim/internal/runner"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "resilientrun: error: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// The suite: five factors, three synthetic "benchmarks" whose
+// deterministic responses weight the factors differently.
+func suite() ([]pb.Factor, []string, []pb.FallibleResponse) {
+	factors := []pb.Factor{
+		{Name: "ROB Entries", Low: "8", High: "64"},
+		{Name: "L2 Cache Size", Low: "256 KB", High: "8 MB"},
+		{Name: "Memory Latency", Low: "50", High: "200"},
+		{Name: "Branch Predictor", Low: "2K", High: "16K"},
+		{Name: "Int ALUs", Low: "1", High: "4"},
+	}
+	benchmarks := []string{"synth-int", "synth-mem", "synth-fp"}
+	weights := [][]float64{
+		{40, 5, 3, 25, 30},
+		{8, 50, 45, 4, 2},
+		{30, 12, 10, 6, 20},
+	}
+	responses := make([]pb.FallibleResponse, len(benchmarks))
+	for bi := range benchmarks {
+		w := weights[bi]
+		responses[bi] = func(_ context.Context, levels []pb.Level) (float64, error) {
+			cycles := 10000.0
+			for j, lv := range levels {
+				if j < len(w) {
+					cycles -= w[j] * float64(lv) * math.Sqrt(float64(j)+1)
+				}
+			}
+			return cycles, nil
+		}
+	}
+	return factors, benchmarks, responses
+}
+
+func run() error {
+	factors, benchmarks, responses := suite()
+
+	fmt.Println("=== Phase 1: suite under injected faults ===")
+	faults := &runner.Faults{
+		Seed:      2026,
+		FailProb:  0.15,                                          // seeded transient failures
+		PanicRows: map[int]int{3: 1},                             // row 3 panics once
+		SlowRows:  map[int]time.Duration{5: 300 * time.Millisecond}, // row 5's first attempt hangs
+	}
+	opts := pb.Options{Foldover: true}
+	opts.Runner = runner.Config{
+		Retries:    5,
+		Timeout:    100 * time.Millisecond, // row 5's first attempt times out
+		Backoff:    5 * time.Millisecond,
+		BackoffCap: 50 * time.Millisecond,
+		Wrap:       faults.Wrap,
+		OnRetry: func(scope string, row, attempt int, delay time.Duration, err error) {
+			fmt.Printf("  retry %s row %d (attempt %d, backoff %v): %v\n", scope, row, attempt, delay, err)
+		},
+	}
+	faulted, err := pb.RunSuiteCtx(context.Background(), factors, benchmarks, responses, opts)
+	if err != nil {
+		return fmt.Errorf("faulted suite: %w", err)
+	}
+	fmt.Printf("suite completed despite %d injected-fault attempts\n\n", faults.Injected())
+
+	fmt.Println("=== Phase 2: crash mid-suite, then checkpoint resume ===")
+	dir, err := os.MkdirTemp("", "resilientrun")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "suite.jsonl")
+
+	// The "crashing" first run: the response budget dies after 20 rows.
+	cp, err := runner.OpenCheckpoint(path, "example")
+	if err != nil {
+		return err
+	}
+	var budget atomic.Int64
+	budget.Store(20)
+	crashing := make([]pb.FallibleResponse, len(responses))
+	for i, resp := range responses {
+		crashing[i] = func(ctx context.Context, levels []pb.Level) (float64, error) {
+			if budget.Add(-1) < 0 {
+				return 0, errors.New("simulated crash")
+			}
+			return resp(ctx, levels)
+		}
+	}
+	copts := pb.Options{Foldover: true}
+	copts.Runner.Checkpoint = cp
+	if _, err := pb.RunSuiteCtx(context.Background(), factors, benchmarks, crashing, copts); err == nil {
+		return errors.New("crashing run unexpectedly succeeded")
+	} else {
+		fmt.Printf("first run died as planned: %v\n", err)
+	}
+	cp.Close()
+
+	// The resumed run: same checkpoint file, healthy responses.
+	re, err := runner.OpenCheckpoint(path, "example")
+	if err != nil {
+		return err
+	}
+	defer re.Close()
+	var simulated atomic.Int64
+	counting := make([]pb.FallibleResponse, len(responses))
+	for i, resp := range responses {
+		counting[i] = func(ctx context.Context, levels []pb.Level) (float64, error) {
+			simulated.Add(1)
+			return resp(ctx, levels)
+		}
+	}
+	ropts := pb.Options{Foldover: true}
+	ropts.Runner.Checkpoint = re
+	resumed, err := pb.RunSuiteCtx(context.Background(), factors, benchmarks, counting, ropts)
+	if err != nil {
+		return fmt.Errorf("resumed suite: %w", err)
+	}
+	total := resumed.Design.Runs() * len(benchmarks)
+	fmt.Printf("resume restored %d rows from the checkpoint and simulated only %d of %d\n",
+		re.Loaded(), simulated.Load(), total)
+
+	// The resumed ordering must equal the faulted (but complete) run's.
+	fmt.Println("\nsum-of-ranks ordering (resumed run):")
+	for pos, f := range resumed.Order {
+		same := "=="
+		if resumed.Order[pos] != faulted.Order[pos] {
+			same = "!=" // never happens: both runs are exact
+		}
+		fmt.Printf("  %d. %-18s sum %2d  (%s fault-injected run)\n",
+			pos+1, resumed.Factors[f].Name, resumed.Sums[f], same)
+	}
+	return nil
+}

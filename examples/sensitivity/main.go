@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	resp := experiment.Response(w, warmup, instructions, nil)
+	resp := experiment.Response(w, warmup, instructions, nil).Must()
 	factors := []string{}
 	for _, f := range experimentFactors() {
 		factors = append(factors, f.Name)

@@ -5,9 +5,12 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"pbsim/internal/pb"
+	"pbsim/internal/runner"
 	"pbsim/internal/sim"
 	"pbsim/internal/workload"
 )
@@ -45,41 +48,80 @@ type Options struct {
 	Shortcut ShortcutFactory
 	// Workloads restricts the benchmark suite; nil selects all 13.
 	Workloads []workload.Workload
+
+	// Timeout bounds each configuration's simulation attempt; zero
+	// disables the per-row deadline.
+	Timeout time.Duration
+	// Retries is the number of extra attempts a failed configuration
+	// gets before the benchmark is failed with an aggregate error.
+	Retries int
+	// Backoff overrides the base retry delay (runner.DefaultBackoff
+	// when zero).
+	Backoff time.Duration
+	// Checkpoint, when non-empty, is the path of a JSONL journal of
+	// completed configurations: an interrupted suite rerun with the
+	// same options resumes exactly where it stopped and reproduces
+	// identical effects and ranks.
+	Checkpoint string
+	// Label distinguishes experiment variants (e.g. the base and
+	// enhanced suites of Table 12) that share one checkpoint file.
+	// Empty means "base".
+	Label string
+	// OnRow, when non-nil, observes every completed configuration
+	// (scope is "label/benchmark"); fromCheckpoint marks rows that
+	// were restored rather than simulated.
+	OnRow func(scope string, row int, value float64, fromCheckpoint bool)
+	// OnRetry, when non-nil, observes every retry decision.
+	OnRetry func(scope string, row, attempt int, delay time.Duration, err error)
 }
 
-// Response builds the pb.Response for one workload: each design row is
-// translated to a processor configuration, a fresh CPU simulates the
-// workload's deterministic stream, and the simulated execution time in
-// cycles is the response value.
-func Response(w workload.Workload, warmup, instructions int64, shortcut ShortcutFactory) pb.Response {
-	return func(levels []pb.Level) float64 {
+// Response builds the pb.FallibleResponse for one workload: each
+// design row is translated to a processor configuration, a fresh CPU
+// simulates the workload's deterministic stream, and the simulated
+// execution time in cycles is the response value. Failures are
+// returned as errors carrying the benchmark name (the runner adds the
+// row), never raised as panics.
+func Response(w workload.Workload, warmup, instructions int64, shortcut ShortcutFactory) pb.FallibleResponse {
+	return func(ctx context.Context, levels []pb.Level) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		cfg := sim.ConfigForLevels(levels)
 		gen, err := w.NewGenerator()
 		if err != nil {
-			panic(fmt.Sprintf("experiment: workload %s: %v", w.Name, err))
+			return 0, fmt.Errorf("workload %s: %w", w.Name, err)
 		}
 		var sc sim.ComputeShortcut
 		if shortcut != nil {
 			if sc, err = shortcut(w); err != nil {
-				panic(fmt.Sprintf("experiment: shortcut for %s: %v", w.Name, err))
+				return 0, fmt.Errorf("shortcut for %s: %w", w.Name, err)
 			}
 		}
 		cpu, err := sim.New(cfg, gen, sc)
 		if err != nil {
-			panic(fmt.Sprintf("experiment: config for %s: %v", w.Name, err))
+			return 0, fmt.Errorf("config for %s: %w", w.Name, err)
 		}
 		cpu.PrewarmMemory()
 		stats, err := cpu.RunWithWarmup(warmup, instructions)
 		if err != nil {
-			panic(fmt.Sprintf("experiment: run %s: %v", w.Name, err))
+			return 0, fmt.Errorf("run %s: %w", w.Name, err)
 		}
-		return float64(stats.Cycles)
+		return float64(stats.Cycles), nil
 	}
 }
 
 // RunSuite executes the full PB experiment over the benchmark suite
-// and returns per-benchmark ranks plus the sum-of-ranks ordering.
+// and returns per-benchmark ranks plus the sum-of-ranks ordering. It
+// is the non-cancellable adapter over RunSuiteCtx.
 func RunSuite(opts Options) (*pb.Suite, error) {
+	return RunSuiteCtx(context.Background(), opts)
+}
+
+// RunSuiteCtx is the fault-tolerant suite entry point: the context
+// cancels the whole experiment (all in-flight simulations drain
+// before it returns), and the Options' Timeout/Retries/Checkpoint
+// fields configure the resilient runner.
+func RunSuiteCtx(ctx context.Context, opts Options) (*pb.Suite, error) {
 	if opts.Instructions <= 0 {
 		opts.Instructions = DefaultInstructions
 	}
@@ -93,14 +135,54 @@ func RunSuite(opts Options) (*pb.Suite, error) {
 	if len(ws) == 0 {
 		return nil, fmt.Errorf("experiment: empty workload list")
 	}
+	factors := sim.Factors()
+	design, err := pb.New(len(factors), opts.Foldover)
+	if err != nil {
+		return nil, err
+	}
+	pbOpts := pb.Options{
+		Foldover:    opts.Foldover,
+		Parallelism: opts.Parallelism,
+		Runner: runner.Config{
+			Timeout: opts.Timeout,
+			Retries: opts.Retries,
+			Backoff: opts.Backoff,
+			Scope:   label(opts),
+			OnRow:   opts.OnRow,
+			OnRetry: opts.OnRetry,
+		},
+	}
+	if opts.Checkpoint != "" {
+		cp, err := runner.OpenCheckpoint(opts.Checkpoint, Fingerprint(design, opts))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		defer cp.Close()
+		pbOpts.Runner.Checkpoint = cp
+	}
 	names := make([]string, len(ws))
-	responses := make([]pb.Response, len(ws))
+	responses := make([]pb.FallibleResponse, len(ws))
 	for i, w := range ws {
 		names[i] = w.Name
 		responses[i] = Response(w, opts.Warmup, opts.Instructions, opts.Shortcut)
 	}
-	return pb.RunSuite(sim.Factors(), names, responses, pb.Options{
-		Foldover:    opts.Foldover,
-		Parallelism: opts.Parallelism,
-	})
+	return pb.RunSuiteWithDesignCtx(ctx, design, factors, names, responses, pbOpts)
+}
+
+// Fingerprint identifies one experiment variant inside a checkpoint
+// file: the design geometry plus every option that changes the
+// simulated cycle counts. Rows checkpointed under a different
+// fingerprint are ignored on resume, so restarting with different
+// budgets (or with an enhancement toggled) can never splice stale
+// responses into the effects.
+func Fingerprint(design *pb.Design, opts Options) string {
+	return fmt.Sprintf("%s|n=%d|warmup=%d|label=%s",
+		design.Fingerprint(), opts.Instructions, opts.Warmup, label(opts))
+}
+
+func label(opts Options) string {
+	if opts.Label == "" {
+		return "base"
+	}
+	return opts.Label
 }

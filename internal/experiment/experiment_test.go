@@ -1,11 +1,15 @@
 package experiment
 
 import (
+	"context"
+	"errors"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"pbsim/internal/enhance"
 	"pbsim/internal/pb"
+	"pbsim/internal/runner"
 	"pbsim/internal/sim"
 	"pbsim/internal/workload"
 )
@@ -15,7 +19,7 @@ func TestResponseDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp := Response(w, 2000, 4000, nil)
+	resp := Response(w, 2000, 4000, nil).Must()
 	design, err := pb.New(41, false)
 	if err != nil {
 		t.Fatal(err)
@@ -32,7 +36,7 @@ func TestResponseDeterministic(t *testing.T) {
 
 func TestResponseDependsOnLevels(t *testing.T) {
 	w, _ := workload.ByName("mcf")
-	resp := Response(w, 2000, 4000, nil)
+	resp := Response(w, 2000, 4000, nil).Must()
 	low := make([]pb.Level, 43)
 	high := make([]pb.Level, 43)
 	for i := range low {
@@ -102,6 +106,110 @@ func TestRunSuiteSmall(t *testing.T) {
 	}
 }
 
+func TestResponsePropagatesErrors(t *testing.T) {
+	// A workload whose generator cannot be built (zero-value Params
+	// fail validation) must surface an error naming the benchmark —
+	// the historical behavior was a panic that killed the whole suite.
+	bad := workload.Workload{Name: "broken"}
+	resp := Response(bad, 0, 1000, nil)
+	_, err := resp(context.Background(), make([]pb.Level, 43))
+	if err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error %q does not name the workload", err)
+	}
+
+	// A failing shortcut factory is also an error, not a panic.
+	w, _ := workload.ByName("gzip")
+	factoryErr := errors.New("table allocation failed")
+	resp = Response(w, 0, 1000, func(workload.Workload) (sim.ComputeShortcut, error) {
+		return nil, factoryErr
+	})
+	if _, err := resp(context.Background(), make([]pb.Level, 43)); !errors.Is(err, factoryErr) {
+		t.Errorf("shortcut error not propagated: %v", err)
+	}
+
+	// A whole suite over the broken workload fails with an aggregate
+	// error instead of dying.
+	_, err = RunSuite(Options{
+		Instructions: 1000,
+		Workloads:    []workload.Workload{bad},
+	})
+	var runErr *runner.RunError
+	if !errors.As(err, &runErr) {
+		t.Fatalf("suite over broken workload: want *runner.RunError, got %v", err)
+	}
+}
+
+func TestRunSuiteCancellation(t *testing.T) {
+	ws := []workload.Workload{}
+	for _, n := range []string{"gzip", "mcf"} {
+		w, _ := workload.ByName(n)
+		ws = append(ws, w)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first row
+	_, err := RunSuiteCtx(ctx, Options{
+		Instructions: 1000,
+		Warmup:       0,
+		Foldover:     true,
+		Workloads:    ws,
+	})
+	if !runner.Cancelled(err) {
+		t.Fatalf("want cancellation error, got %v", err)
+	}
+}
+
+func TestRunSuiteCheckpointResume(t *testing.T) {
+	w, _ := workload.ByName("gzip")
+	opts := Options{
+		Instructions: 2000,
+		Warmup:       1000,
+		Workloads:    []workload.Workload{w},
+		Checkpoint:   filepath.Join(t.TempDir(), "suite.jsonl"),
+	}
+	first, err := RunSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rerun with the same options: every row restores, nothing is
+	// re-simulated, and the responses are bit-identical.
+	var restored, simulated int
+	opts.OnRow = func(_ string, _ int, _ float64, fromCheckpoint bool) {
+		if fromCheckpoint {
+			restored++
+		} else {
+			simulated++
+		}
+	}
+	opts.Parallelism = 1 // serialize so the OnRow counters need no lock
+	second, err := RunSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simulated != 0 || restored != first.Design.Runs() {
+		t.Errorf("resume simulated %d rows and restored %d, want 0 and %d", simulated, restored, first.Design.Runs())
+	}
+	for i := range first.Results[0].Responses {
+		a, b := first.Results[0].Responses[i], second.Results[0].Responses[i]
+		if a != b {
+			t.Errorf("row %d: %g != %g after resume", i, b, a)
+		}
+	}
+	// A different instruction budget changes the fingerprint: the
+	// stale rows must NOT be reused.
+	opts.OnRow = nil
+	opts.Instructions = 3000
+	third, err := RunSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third.Results[0].Responses[0] == first.Results[0].Responses[0] {
+		t.Error("checkpoint rows leaked across a changed instruction budget")
+	}
+}
+
 func TestRunSuiteDefaults(t *testing.T) {
 	// Option defaulting: explicit zero instructions selects the
 	// default, negative warmup selects the default warmup.
@@ -119,8 +227,8 @@ func TestResponseWithShortcut(t *testing.T) {
 		}
 		return enhance.NewPrecomputation(freq, 128)
 	}
-	base := Response(w, 2000, 5000, nil)
-	enhanced := Response(w, 2000, 5000, factory)
+	base := Response(w, 2000, 5000, nil).Must()
+	enhanced := Response(w, 2000, 5000, factory).Must()
 	levels := make([]pb.Level, 43)
 	for i := range levels {
 		levels[i] = pb.Low
@@ -136,6 +244,10 @@ func TestTable9ShapeFullSuite(t *testing.T) {
 	// the qualitative Table 9 shape must hold.
 	if testing.Short() {
 		t.Skip("full-suite shape test skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("13x88 full-scale suite exceeds the race detector's time budget; " +
+			"the suite's concurrency is covered by the runner, pb, and checkpoint race tests")
 	}
 	suite, err := RunSuite(Options{
 		Instructions: 20000,

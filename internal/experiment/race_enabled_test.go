@@ -1,0 +1,8 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, whose slowdown puts the full-scale suite tests past the
+// default per-package test timeout.
+const raceEnabled = true

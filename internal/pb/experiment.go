@@ -1,9 +1,10 @@
 package pb
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
+
+	"pbsim/internal/runner"
 )
 
 // Factor describes one two-level experimental factor: a processor
@@ -30,7 +31,39 @@ func Dummy(n int) Factor {
 // column it returns the measured response (in this paper, simulated
 // execution time in cycles). Implementations must be safe for
 // concurrent use; the runner fans rows out across goroutines.
+//
+// Response is the legacy infallible form. New code should implement
+// FallibleResponse, which can report per-row errors and observe
+// cancellation instead of panicking.
 type Response func(levels []Level) float64
+
+// FallibleResponse is the fault-tolerant row evaluator: it receives
+// the run's context (carrying cancellation and the per-attempt
+// deadline) and may fail with an error, which the runner retries and,
+// if retries are exhausted, aggregates into the experiment's error —
+// never into a silent NaN in the effects.
+type FallibleResponse func(ctx context.Context, levels []Level) (float64, error)
+
+// Fallible adapts a legacy infallible response to the fallible
+// interface.
+func (r Response) Fallible() FallibleResponse {
+	return func(_ context.Context, levels []Level) (float64, error) {
+		return r(levels), nil
+	}
+}
+
+// Must adapts a fallible response for infallible-only analyses (the
+// one-at-a-time and full-factorial baselines), panicking on error. Use
+// it only at edges where an error is unrecoverable anyway.
+func (f FallibleResponse) Must() Response {
+	return func(levels []Level) float64 {
+		v, err := f(context.Background(), levels)
+		if err != nil {
+			panic(fmt.Sprintf("pb: response failed: %v", err))
+		}
+		return v
+	}
+}
 
 // Options configures an experiment run.
 type Options struct {
@@ -38,8 +71,12 @@ type Options struct {
 	// recommendation); without it the basic X-run design is used.
 	Foldover bool
 	// Parallelism bounds the number of concurrently evaluated rows.
-	// Zero selects GOMAXPROCS.
+	// Zero selects GOMAXPROCS. (Runner.Parallelism, when set, wins.)
 	Parallelism int
+	// Runner tunes fault tolerance: per-row timeout, retries with
+	// capped backoff, checkpointing, and fault injection. The zero
+	// value is a plain parallel evaluation.
+	Runner runner.Config
 }
 
 // Result holds everything produced by one PB experiment on a single
@@ -57,18 +94,31 @@ type Result struct {
 // for every configuration row (in parallel), and computes effects and
 // ranks. The factor list is padded with dummy factors up to the design
 // column count.
+//
+// Run is the legacy infallible entry point, a thin adapter over
+// RunCtx.
 func Run(factors []Factor, response Response, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), factors, response.Fallible(), opts)
+}
+
+// RunCtx is the fault-tolerant form of Run.
+func RunCtx(ctx context.Context, factors []Factor, response FallibleResponse, opts Options) (*Result, error) {
 	design, err := New(len(factors), opts.Foldover)
 	if err != nil {
 		return nil, err
 	}
-	return RunWithDesign(design, factors, response, opts)
+	return RunWithDesignCtx(ctx, design, factors, response, opts)
 }
 
 // RunWithDesign is Run with a caller-supplied design, allowing one
 // design to be reused across benchmarks (as in Table 9, where the same
 // X=44 foldover design drives all 13 workloads).
 func RunWithDesign(design *Design, factors []Factor, response Response, opts Options) (*Result, error) {
+	return RunWithDesignCtx(context.Background(), design, factors, response.Fallible(), opts)
+}
+
+// RunWithDesignCtx is the fault-tolerant form of RunWithDesign.
+func RunWithDesignCtx(ctx context.Context, design *Design, factors []Factor, response FallibleResponse, opts Options) (*Result, error) {
 	if len(factors) > design.Columns {
 		return nil, fmt.Errorf("pb: %d factors exceed the design's %d columns", len(factors), design.Columns)
 	}
@@ -77,7 +127,10 @@ func RunWithDesign(design *Design, factors []Factor, response Response, opts Opt
 	for i := len(factors); i < design.Columns; i++ {
 		padded[i] = Dummy(i - len(factors) + 1)
 	}
-	responses := EvaluateRows(design, response, opts.Parallelism)
+	responses, err := EvaluateRowsCtx(ctx, design, response, opts)
+	if err != nil {
+		return nil, err
+	}
 	effects, err := Effects(design, responses)
 	if err != nil {
 		return nil, err
@@ -93,36 +146,32 @@ func RunWithDesign(design *Design, factors []Factor, response Response, opts Opt
 
 // EvaluateRows computes the response of every design row using up to
 // parallelism goroutines (GOMAXPROCS when zero).
+//
+// It is the legacy infallible entry point, kept as a thin adapter over
+// the fault-tolerant runner so existing callers don't break: an
+// infallible response cannot error, so the only failure mode is a
+// panic inside it, which is re-raised exactly as before.
 func EvaluateRows(design *Design, response Response, parallelism int) []float64 {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	out, err := EvaluateRowsCtx(context.Background(), design, response.Fallible(),
+		Options{Parallelism: parallelism})
+	if err != nil {
+		panic(err)
 	}
-	n := design.Runs()
-	if parallelism > n {
-		parallelism = n
+	return out
+}
+
+// EvaluateRowsCtx evaluates every design row through the resilient
+// runner: bounded parallelism, cancellation, per-row timeout, retry
+// with backoff, panic recovery, and checkpointing per opts.Runner.
+func EvaluateRowsCtx(ctx context.Context, design *Design, response FallibleResponse, opts Options) ([]float64, error) {
+	cfg := opts.Runner
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = opts.Parallelism
 	}
-	responses := make([]float64, n)
-	var next int
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n {
-					return
-				}
-				responses[i] = response(design.Row(i))
-			}
-		}()
+	task := func(ctx context.Context, i int) (float64, error) {
+		return response(ctx, design.Row(i))
 	}
-	wg.Wait()
-	return responses
+	return runner.Evaluate(ctx, design.Runs(), task, cfg)
 }
 
 // Suite runs the same design over several named responses (one per
@@ -139,8 +188,22 @@ type Suite struct {
 }
 
 // RunSuite evaluates responses[bi] for every benchmark bi over a
-// shared design built for the given factors.
+// shared design built for the given factors. It is the legacy
+// infallible entry point, a thin adapter over RunSuiteCtx.
 func RunSuite(factors []Factor, benchmarks []string, responses []Response, opts Options) (*Suite, error) {
+	fallible := make([]FallibleResponse, len(responses))
+	for i, r := range responses {
+		fallible[i] = r.Fallible()
+	}
+	return RunSuiteCtx(context.Background(), factors, benchmarks, fallible, opts)
+}
+
+// RunSuiteCtx is the fault-tolerant form of RunSuite: the context
+// cancels the whole suite, and opts.Runner adds timeouts, retries,
+// and checkpointing. Each benchmark's rows are checkpointed under a
+// scope derived from its name, so one checkpoint file resumes the
+// whole suite.
+func RunSuiteCtx(ctx context.Context, factors []Factor, benchmarks []string, responses []FallibleResponse, opts Options) (*Suite, error) {
 	if len(benchmarks) != len(responses) {
 		return nil, fmt.Errorf("pb: %d benchmark names but %d responses", len(benchmarks), len(responses))
 	}
@@ -151,14 +214,33 @@ func RunSuite(factors []Factor, benchmarks []string, responses []Response, opts 
 	if err != nil {
 		return nil, err
 	}
+	return RunSuiteWithDesignCtx(ctx, design, factors, benchmarks, responses, opts)
+}
+
+// RunSuiteWithDesignCtx is RunSuiteCtx with a caller-supplied design,
+// the form the experiment harness uses so it can fingerprint the
+// checkpoint before the first row runs.
+func RunSuiteWithDesignCtx(ctx context.Context, design *Design, factors []Factor, benchmarks []string, responses []FallibleResponse, opts Options) (*Suite, error) {
+	if len(benchmarks) != len(responses) {
+		return nil, fmt.Errorf("pb: %d benchmark names but %d responses", len(benchmarks), len(responses))
+	}
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("pb: empty benchmark suite")
+	}
 	s := &Suite{
 		Design:     design,
 		Benchmarks: benchmarks,
 		Results:    make([]*Result, len(benchmarks)),
 		RankRows:   make([][]int, len(benchmarks)),
 	}
+	baseScope := opts.Runner.Scope
 	for bi, resp := range responses {
-		res, err := RunWithDesign(design, factors, resp, opts)
+		bopts := opts
+		bopts.Runner.Scope = benchmarks[bi]
+		if baseScope != "" {
+			bopts.Runner.Scope = baseScope + "/" + benchmarks[bi]
+		}
+		res, err := RunWithDesignCtx(ctx, design, factors, resp, bopts)
 		if err != nil {
 			return nil, fmt.Errorf("pb: benchmark %s: %w", benchmarks[bi], err)
 		}

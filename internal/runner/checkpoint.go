@@ -1,0 +1,133 @@
+package runner
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// checkpointRecord is one line of the checkpoint file. Values are
+// encoded by encoding/json, which prints float64 with the shortest
+// round-tripping representation, so a reloaded value is bit-identical
+// to the one recorded.
+type checkpointRecord struct {
+	// FP is the experiment fingerprint (design, instruction budget,
+	// variant label, ...). Records whose fingerprint differs from the
+	// open checkpoint's are ignored on load, so a stale file can never
+	// smuggle responses from a different experiment into this one.
+	FP string `json:"fp,omitempty"`
+	// Scope namespaces rows, typically per benchmark.
+	Scope string `json:"scope,omitempty"`
+	Row   int    `json:"row"`
+	Value float64 `json:"value"`
+}
+
+// Checkpoint is an append-only JSONL journal of completed rows. One
+// file serves a whole suite: scopes keep benchmarks apart and the
+// fingerprint keeps unrelated experiments apart. It is safe for
+// concurrent use by the runner's workers.
+//
+// The format is deliberately crash-tolerant: every successful row is
+// one flushed line, and a torn final line (the process died
+// mid-write) is skipped on reload instead of poisoning the file.
+type Checkpoint struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	fp     string
+	done   map[string]map[int]float64
+	loaded int
+}
+
+// OpenCheckpoint opens (creating if needed) the JSONL checkpoint at
+// path and loads every record whose fingerprint matches. Records with
+// a different fingerprint, and malformed lines, are skipped.
+func OpenCheckpoint(path, fingerprint string) (*Checkpoint, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runner: open checkpoint: %w", err)
+	}
+	c := &Checkpoint{
+		f:    f,
+		w:    bufio.NewWriter(f),
+		fp:   fingerprint,
+		done: make(map[string]map[int]float64),
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		var rec checkpointRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			continue // torn or foreign line
+		}
+		if rec.FP != fingerprint {
+			continue
+		}
+		c.put(rec.Scope, rec.Row, rec.Value)
+		c.loaded++
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("runner: read checkpoint: %w", err)
+	}
+	return c, nil
+}
+
+func (c *Checkpoint) put(scope string, row int, value float64) {
+	m, ok := c.done[scope]
+	if !ok {
+		m = make(map[int]float64)
+		c.done[scope] = m
+	}
+	m[row] = value
+}
+
+// Lookup returns the recorded value of (scope, row), if any.
+func (c *Checkpoint) Lookup(scope string, row int) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.done[scope][row]
+	return v, ok
+}
+
+// Record appends one completed row and flushes it to the file, so the
+// row survives even if the process dies immediately after.
+func (c *Checkpoint) Record(scope string, row int, value float64) error {
+	line, err := json.Marshal(checkpointRecord{FP: c.fp, Scope: scope, Row: row, Value: value})
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(scope, row, value)
+	if _, err := c.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// Loaded reports how many matching rows were restored when the
+// checkpoint was opened — the work a resumed run skips.
+func (c *Checkpoint) Loaded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loaded
+}
+
+// Close flushes and closes the underlying file.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	ferr := c.w.Flush()
+	cerr := c.f.Close()
+	c.f = nil
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

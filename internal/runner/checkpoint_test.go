@@ -1,0 +1,155 @@
+package runner
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := OpenCheckpoint(path, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Awkward values must survive bit-exactly through JSON.
+	values := map[int]float64{
+		0: 1.0 / 3.0,
+		1: math.Pi * 1e15,
+		2: 5e-324, // smallest denormal
+		3: 123456789,
+	}
+	for row, v := range values {
+		if err := cp.Record("gzip", row, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cp.Record("mcf", 0, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCheckpoint(path, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Loaded() != 5 {
+		t.Errorf("loaded %d rows, want 5", re.Loaded())
+	}
+	for row, want := range values {
+		got, ok := re.Lookup("gzip", row)
+		if !ok {
+			t.Fatalf("gzip row %d missing", row)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("gzip row %d: %x != %x (not bit-identical)", row, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	if _, ok := re.Lookup("gzip", 99); ok {
+		t.Error("phantom row found")
+	}
+	if _, ok := re.Lookup("mcf", 0); !ok {
+		t.Error("scope mcf lost")
+	}
+}
+
+func TestCheckpointFingerprintIsolation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := OpenCheckpoint(path, "design-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.Record("b", 0, 1)
+	cp.Close()
+
+	other, err := OpenCheckpoint(path, "design-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer other.Close()
+	if other.Loaded() != 0 {
+		t.Errorf("foreign fingerprint loaded %d rows", other.Loaded())
+	}
+	if _, ok := other.Lookup("b", 0); ok {
+		t.Error("row from another experiment visible")
+	}
+}
+
+func TestCheckpointToleratesTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, _ := OpenCheckpoint(path, "fp")
+	cp.Record("b", 0, 10)
+	cp.Record("b", 1, 11)
+	cp.Close()
+	// Simulate a crash mid-write: append half a record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"fp":"fp","scope":"b","row":2,"val`)
+	f.Close()
+
+	re, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatalf("torn line broke reload: %v", err)
+	}
+	defer re.Close()
+	if re.Loaded() != 2 {
+		t.Errorf("loaded %d rows, want the 2 intact ones", re.Loaded())
+	}
+	if _, ok := re.Lookup("b", 2); ok {
+		t.Error("torn row half-loaded")
+	}
+}
+
+// Resuming with a checkpoint must skip completed rows entirely and
+// reproduce the identical response vector.
+func TestEvaluateResumesFromCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	const n = 30
+	task := func(_ context.Context, i int) (float64, error) {
+		return math.Sqrt(float64(i)) * math.Pi, nil
+	}
+
+	cp1, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Evaluate(context.Background(), n, task, Config{Parallelism: 4, Checkpoint: cp1, Scope: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp1.Close()
+
+	cp2, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp2.Close()
+	if cp2.Loaded() != n {
+		t.Fatalf("loaded %d, want %d", cp2.Loaded(), n)
+	}
+	var calls atomic.Int64
+	counting := func(ctx context.Context, i int) (float64, error) {
+		calls.Add(1)
+		return task(ctx, i)
+	}
+	resumed, err := Evaluate(context.Background(), n, counting, Config{Parallelism: 4, Checkpoint: cp2, Scope: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("resumed run re-evaluated %d rows", calls.Load())
+	}
+	for i := range full {
+		if math.Float64bits(full[i]) != math.Float64bits(resumed[i]) {
+			t.Errorf("row %d differs after resume: %v vs %v", i, full[i], resumed[i])
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the root of every error produced by the
+// fault-injection harness, so tests can errors.Is for it.
+var ErrInjected = errors.New("injected fault")
+
+// Faults is a deterministic fault-injection wrapper for tasks: given
+// the same Seed and the same schedule of attempts, it makes identical
+// decisions, which lets tests (and the resilientrun example) assert
+// that a suite completes despite failures, panics, and slow rows.
+//
+// Deterministic modes key off the row and the per-row attempt number;
+// the probabilistic mode keys off (Seed, row, attempt) through the
+// same splitmix64 hash the backoff jitter uses, so no global RNG state
+// is shared between workers.
+type Faults struct {
+	// Seed drives the probabilistic failure mode.
+	Seed int64
+	// FailProb is the per-attempt probability of a transient injected
+	// error (0 disables).
+	FailProb float64
+	// FailRows maps row → number of leading attempts that return an
+	// injected error before the row starts succeeding.
+	FailRows map[int]int
+	// PanicRows maps row → number of leading attempts that panic.
+	PanicRows map[int]int
+	// SlowRows maps row → extra latency added to that row's leading
+	// attempts (see SlowAttempts). The sleep respects the attempt
+	// context, so a per-attempt timeout cuts it short.
+	SlowRows map[int]time.Duration
+	// SlowAttempts is how many leading attempts of a slow row are
+	// delayed (default 1: slow once, then fast — the classic
+	// "retry beats a straggler" scenario).
+	SlowAttempts int
+
+	mu       sync.Mutex
+	attempts map[int]int
+}
+
+// Wrap decorates task with the configured faults. It is the value to
+// assign to Config.Wrap.
+func (f *Faults) Wrap(task Task) Task {
+	return func(ctx context.Context, row int) (float64, error) {
+		attempt := f.nextAttempt(row)
+		if attempt < f.PanicRows[row] {
+			panic(fmt.Sprintf("%v: row %d attempt %d", ErrInjected, row, attempt))
+		}
+		if attempt < f.FailRows[row] {
+			return 0, fmt.Errorf("%w: row %d attempt %d", ErrInjected, row, attempt)
+		}
+		if f.FailProb > 0 && hashFloat(f.Seed, uint64(row), uint64(attempt)) < f.FailProb {
+			return 0, fmt.Errorf("%w: row %d attempt %d (seeded)", ErrInjected, row, attempt)
+		}
+		slowAttempts := f.SlowAttempts
+		if slowAttempts == 0 {
+			slowAttempts = 1
+		}
+		if d := f.SlowRows[row]; d > 0 && attempt < slowAttempts {
+			if err := ctxSleep(ctx, d); err != nil {
+				return 0, fmt.Errorf("%w: row %d slow attempt %d: %v", ErrInjected, row, attempt, err)
+			}
+		}
+		return task(ctx, row)
+	}
+}
+
+// Injected reports how many attempts the harness has intercepted so
+// far (equal to the number of task invocations it observed).
+func (f *Faults) Injected() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	total := 0
+	for _, n := range f.attempts {
+		total += n
+	}
+	return total
+}
+
+func (f *Faults) nextAttempt(row int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.attempts == nil {
+		f.attempts = make(map[int]int)
+	}
+	n := f.attempts[row]
+	f.attempts[row] = n + 1
+	return n
+}

@@ -1,0 +1,102 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestFaultsDeterministicFailures(t *testing.T) {
+	// Two harnesses with the same seed must inject the identical
+	// failure pattern over the identical attempt schedule.
+	run := func(seed int64) []bool {
+		f := &Faults{Seed: seed, FailProb: 0.4}
+		task := f.Wrap(func(context.Context, int) (float64, error) { return 1, nil })
+		var pattern []bool
+		for row := 0; row < 50; row++ {
+			_, err := task(context.Background(), row)
+			pattern = append(pattern, err != nil)
+		}
+		return pattern
+	}
+	a, b := run(9), run(9)
+	failures := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: same seed diverged", i)
+		}
+		if a[i] {
+			failures++
+		}
+	}
+	if failures == 0 || failures == len(a) {
+		t.Errorf("FailProb 0.4 produced %d/%d failures; injection looks broken", failures, len(a))
+	}
+	c := run(10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced the identical pattern")
+	}
+}
+
+func TestFaultsDeterministicModes(t *testing.T) {
+	f := &Faults{
+		FailRows:  map[int]int{1: 2},
+		PanicRows: map[int]int{2: 1},
+	}
+	task := f.Wrap(func(_ context.Context, i int) (float64, error) { return float64(i), nil })
+
+	// Row 1: exactly the first two attempts fail.
+	for attempt := 0; attempt < 4; attempt++ {
+		_, err := task(context.Background(), 1)
+		wantErr := attempt < 2
+		if (err != nil) != wantErr {
+			t.Errorf("row 1 attempt %d: err=%v, want failure=%t", attempt, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Errorf("row 1 attempt %d: error %v is not ErrInjected", attempt, err)
+		}
+	}
+	// Row 2: first attempt panics, second succeeds.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("row 2 first attempt did not panic")
+			}
+		}()
+		task(context.Background(), 2)
+	}()
+	if v, err := task(context.Background(), 2); err != nil || v != 2 {
+		t.Errorf("row 2 second attempt: v=%v err=%v", v, err)
+	}
+	// Row 0: untouched.
+	if v, err := task(context.Background(), 0); err != nil || v != 0 {
+		t.Errorf("row 0: v=%v err=%v", v, err)
+	}
+}
+
+func TestFaultsSlowRowHonorsContext(t *testing.T) {
+	f := &Faults{SlowRows: map[int]time.Duration{0: time.Minute}}
+	task := f.Wrap(func(context.Context, int) (float64, error) { return 1, nil })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := task(ctx, 0)
+	if err == nil {
+		t.Fatal("slow attempt ignored its deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("slow row blocked for %v despite cancelled context", elapsed)
+	}
+	// Second attempt is past SlowAttempts: fast and successful.
+	if v, err := task(context.Background(), 0); err != nil || v != 1 {
+		t.Errorf("second attempt: v=%v err=%v", v, err)
+	}
+}

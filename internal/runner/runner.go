@@ -1,0 +1,345 @@
+// Package runner is the fault-tolerant evaluation engine behind every
+// Plackett-Burman experiment in this repository. A PB suite at paper
+// scale is a large fan-out — the X=44 foldover design is 88
+// configurations × 13 benchmarks ≈ 1,144 independent simulations — and
+// at that scale partial failure is the norm, not the exception. The
+// runner therefore treats every row as fallible work: rows are
+// evaluated by a bounded worker pool with context cancellation,
+// per-attempt timeouts, retry with capped exponential backoff and
+// deterministic jitter, panic recovery (a crashed worker becomes a
+// per-row error, never a dead process), and optional JSONL
+// checkpointing so an interrupted suite resumes exactly where it
+// stopped.
+//
+// The degradation policy is strict: a row that exhausts its retries
+// fails the whole evaluation with an aggregate *RunError naming every
+// failed row — the runner never substitutes a silent NaN that would
+// corrupt downstream effects and ranks.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task computes the response value of one row. The context carries the
+// per-attempt deadline and the run's cancellation; long tasks should
+// check it cooperatively. Tasks must be safe for concurrent use.
+type Task func(ctx context.Context, row int) (float64, error)
+
+// Default retry pacing used when a Config enables retries without
+// specifying Backoff / BackoffCap.
+const (
+	DefaultBackoff    = 100 * time.Millisecond
+	DefaultBackoffCap = 5 * time.Second
+)
+
+// Config tunes one Evaluate call. The zero value is a plain parallel
+// evaluation: GOMAXPROCS workers, no timeout, no retries, no
+// checkpoint.
+type Config struct {
+	// Parallelism bounds the number of concurrently evaluated rows
+	// (GOMAXPROCS when zero or negative).
+	Parallelism int
+	// Retries is the number of extra attempts after the first; a row
+	// is failed permanently once 1+Retries attempts have errored.
+	Retries int
+	// Timeout bounds each attempt; zero means no per-attempt deadline.
+	// Enforcement is cooperative: the attempt's context expires and
+	// the task is expected to notice.
+	Timeout time.Duration
+	// Backoff is the base delay before the first retry; it doubles on
+	// every subsequent retry up to BackoffCap. Zero selects
+	// DefaultBackoff when Retries > 0.
+	Backoff time.Duration
+	// BackoffCap bounds the (pre-jitter) retry delay. Zero selects
+	// DefaultBackoffCap.
+	BackoffCap time.Duration
+	// Seed drives the deterministic backoff jitter: the same
+	// (seed, row, attempt) always yields the same delay.
+	Seed int64
+	// Checkpoint, when non-nil, is consulted before evaluating a row
+	// and appended to after every successful one, keyed by Scope.
+	Checkpoint *Checkpoint
+	// Scope namespaces this evaluation's rows inside the checkpoint
+	// (e.g. the benchmark name); evaluations with different scopes
+	// share one checkpoint file without colliding.
+	Scope string
+	// Wrap, when non-nil, decorates the task before evaluation; it is
+	// the hook the fault-injection harness (Faults.Wrap) plugs into.
+	Wrap func(Task) Task
+	// OnRetry, when non-nil, is called before each backoff sleep.
+	OnRetry func(scope string, row, attempt int, delay time.Duration, err error)
+	// OnRow, when non-nil, is called after each row completes,
+	// including rows restored from the checkpoint.
+	OnRow func(scope string, row int, value float64, fromCheckpoint bool)
+
+	// sleep is the backoff clock, injectable by tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// RowError records the permanent failure of one row after all attempts
+// were exhausted.
+type RowError struct {
+	Scope    string
+	Row      int
+	Attempts int
+	Err      error
+}
+
+func (e *RowError) Error() string {
+	where := fmt.Sprintf("row %d", e.Row)
+	if e.Scope != "" {
+		where = fmt.Sprintf("%s %s", e.Scope, where)
+	}
+	return fmt.Sprintf("%s failed after %d attempt(s): %v", where, e.Attempts, e.Err)
+}
+
+func (e *RowError) Unwrap() error { return e.Err }
+
+// RunError aggregates every row that failed permanently during one
+// Evaluate call. Successful rows are still present in the returned
+// slice, but the caller must not use it: partial responses would
+// silently corrupt effects and ranks.
+type RunError struct {
+	N    int // total rows in the evaluation
+	Rows []*RowError
+}
+
+func (e *RunError) Error() string {
+	msg := fmt.Sprintf("runner: %d of %d rows failed permanently; first: %v", len(e.Rows), e.N, e.Rows[0])
+	if len(e.Rows) > 1 {
+		msg += fmt.Sprintf(" (and %d more)", len(e.Rows)-1)
+	}
+	return msg
+}
+
+// Unwrap exposes the individual row errors to errors.Is / errors.As.
+func (e *RunError) Unwrap() []error {
+	errs := make([]error, len(e.Rows))
+	for i, r := range e.Rows {
+		errs[i] = r
+	}
+	return errs
+}
+
+// PanicError is the error a recovered worker panic is converted into.
+// It is retryable like any other attempt error.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Evaluate computes task(ctx, i) for every i in [0, n) using a bounded
+// worker pool and returns the n response values in row order.
+//
+// Failure semantics:
+//   - An attempt that returns an error or panics is retried up to
+//     cfg.Retries times with capped exponential backoff and
+//     deterministic jitter.
+//   - A row that exhausts its attempts is recorded and evaluation of
+//     the remaining rows continues (so a checkpoint captures as much
+//     completed work as possible); Evaluate then returns a *RunError
+//     aggregating every failed row.
+//   - Cancelling ctx stops the pool promptly: workers take no new rows,
+//     in-flight attempts see their context expire, and Evaluate joins
+//     every worker before returning ctx's error. No goroutines leak.
+func Evaluate(ctx context.Context, n int, task Task, cfg Config) ([]float64, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("runner: negative row count %d", n)
+	}
+	parallelism := cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = DefaultBackoff
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = DefaultBackoffCap
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = ctxSleep
+	}
+	if cfg.Wrap != nil {
+		task = cfg.Wrap(task)
+	}
+
+	responses := make([]float64, n)
+	var (
+		next   atomic.Int64 // replaces the historical mutex-guarded counter
+		mu     sync.Mutex   // guards failed
+		failed []*RowError
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				if cfg.Checkpoint != nil {
+					if v, ok := cfg.Checkpoint.Lookup(cfg.Scope, i); ok {
+						responses[i] = v
+						if cfg.OnRow != nil {
+							cfg.OnRow(cfg.Scope, i, v, true)
+						}
+						continue
+					}
+				}
+				v, err := evaluateRow(ctx, task, i, cfg)
+				if err != nil {
+					if ctx.Err() != nil {
+						// The run was cancelled; the row did not fail
+						// on its own merits.
+						return
+					}
+					mu.Lock()
+					failed = append(failed, err)
+					mu.Unlock()
+					continue
+				}
+				responses[i] = v
+				if cfg.Checkpoint != nil {
+					if cerr := cfg.Checkpoint.Record(cfg.Scope, i, v); cerr != nil {
+						mu.Lock()
+						failed = append(failed, &RowError{Scope: cfg.Scope, Row: i, Attempts: 1, Err: fmt.Errorf("checkpoint write: %w", cerr)})
+						mu.Unlock()
+						continue
+					}
+				}
+				if cfg.OnRow != nil {
+					cfg.OnRow(cfg.Scope, i, v, false)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return responses, fmt.Errorf("runner: evaluation interrupted: %w", err)
+	}
+	if len(failed) > 0 {
+		sortRowErrors(failed)
+		return responses, &RunError{N: n, Rows: failed}
+	}
+	return responses, nil
+}
+
+// evaluateRow runs one row's full attempt loop. It returns a *RowError
+// only when the row fails permanently; cancellation of the parent
+// context surfaces as an error the caller discards after checking ctx.
+func evaluateRow(ctx context.Context, task Task, row int, cfg Config) (float64, *RowError) {
+	var lastErr error
+	attempts := cfg.Retries + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if ctx.Err() != nil {
+			return 0, &RowError{Scope: cfg.Scope, Row: row, Attempts: attempt, Err: ctx.Err()}
+		}
+		v, err := attemptRow(ctx, task, row, cfg.Timeout)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+		if attempt == attempts-1 || ctx.Err() != nil {
+			break
+		}
+		delay := backoffDelay(cfg, row, attempt)
+		if cfg.OnRetry != nil {
+			cfg.OnRetry(cfg.Scope, row, attempt+1, delay, err)
+		}
+		if cfg.sleep(ctx, delay) != nil {
+			break // cancelled during backoff
+		}
+	}
+	return 0, &RowError{Scope: cfg.Scope, Row: row, Attempts: attempts, Err: lastErr}
+}
+
+// attemptRow runs a single attempt under the per-attempt timeout,
+// converting a panic into a *PanicError instead of killing the worker.
+func attemptRow(ctx context.Context, task Task, row int, timeout time.Duration) (v float64, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return task(ctx, row)
+}
+
+// backoffDelay computes the pre-retry sleep for (row, attempt):
+// exponential growth from cfg.Backoff, capped at cfg.BackoffCap, with
+// deterministic "equal jitter" — the delay lands in [d/2, d) where d
+// is the capped exponential value, at a point fixed by cfg.Seed. The
+// jitter decorrelates workers that failed together (e.g. a shared
+// resource hiccup) without sacrificing reproducibility.
+func backoffDelay(cfg Config, row, attempt int) time.Duration {
+	d := cfg.Backoff
+	for i := 0; i < attempt && d < cfg.BackoffCap; i++ {
+		d *= 2
+	}
+	if d > cfg.BackoffCap {
+		d = cfg.BackoffCap
+	}
+	u := hashFloat(cfg.Seed, uint64(row), uint64(attempt))
+	return d/2 + time.Duration(u*float64(d/2))
+}
+
+// hashFloat maps (seed, a, b) to a uniform float64 in [0, 1) via a
+// splitmix64 finalizer. It is the runner's only randomness source, so
+// identical configurations replay identical schedules.
+func hashFloat(seed int64, a, b uint64) float64 {
+	x := uint64(seed) ^ a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// ctxSleep blocks for d or until ctx is cancelled.
+func ctxSleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// sortRowErrors orders the aggregate by row index so error output is
+// stable regardless of worker scheduling.
+func sortRowErrors(errs []*RowError) {
+	for i := 1; i < len(errs); i++ {
+		for j := i; j > 0 && errs[j].Row < errs[j-1].Row; j-- {
+			errs[j], errs[j-1] = errs[j-1], errs[j]
+		}
+	}
+}
+
+// Cancelled reports whether err (or anything it wraps) is a context
+// cancellation or deadline error, the signature of an interrupted run
+// as opposed to a genuinely failed one.
+func Cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
