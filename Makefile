@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench check
+.PHONY: all build vet test race short bench check cover
 
 all: check
 
@@ -24,5 +24,10 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Coverage profile plus a per-package summary; enforces floors for the
+# packages the campaign engine leans on hardest (obs, stats, runner).
+cover:
+	bash scripts/cover.sh coverage.out
 
 check: build vet race

@@ -4,10 +4,16 @@
 // Table 9 ranks (the default, exactly reproducing the published
 // Tables 10-11) or freshly measured ranks from the simulator.
 //
+// Observability (meaningful with -source sim, which runs the full
+// suite): -metrics journals run events to JSONL, -progress prints
+// live progress and an end-of-run summary, -debug-addr serves expvar
+// and pprof.
+//
 // Usage:
 //
 //	pbclassify [-source paper|sim] [-threshold 63.25] [-dendrogram] [-n 100000]
 //	           [-timeout 0] [-retries 0] [-checkpoint classify.jsonl]
+//	           [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 
 	"pbsim/internal/cluster"
 	"pbsim/internal/experiment"
+	"pbsim/internal/obs"
 	"pbsim/internal/paperdata"
 	"pbsim/internal/report"
 )
@@ -41,12 +48,19 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "per-configuration timeout when -source sim (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed configuration when -source sim")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file when -source sim")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "pbclassify")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	m, err := buildMatrix(ctx, *source, *n, *warmup, *timeout, *retries, *checkpoint)
+	sess, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
+	m, err := buildMatrix(ctx, *source, *n, *warmup, *timeout, *retries, *checkpoint, sess.Recorder())
 	if err != nil {
 		return err
 	}
@@ -63,7 +77,7 @@ func run() error {
 	return nil
 }
 
-func buildMatrix(ctx context.Context, source string, n, warmup int64, timeout time.Duration, retries int, checkpoint string) (*cluster.Matrix, error) {
+func buildMatrix(ctx context.Context, source string, n, warmup int64, timeout time.Duration, retries int, checkpoint string, rec obs.Recorder) (*cluster.Matrix, error) {
 	switch source {
 	case "paper":
 		return cluster.DistanceMatrix(paperdata.Benchmarks, paperdata.RankVectors(paperdata.Table9))
@@ -75,6 +89,7 @@ func buildMatrix(ctx context.Context, source string, n, warmup int64, timeout ti
 			Timeout:      timeout,
 			Retries:      retries,
 			Checkpoint:   checkpoint,
+			Recorder:     rec,
 		})
 		if err != nil {
 			return nil, err

@@ -1,9 +1,14 @@
 // Command pbdesign prints Plackett-Burman design matrices and the
 // paper's worked effects example (Tables 1-4).
 //
+// Observability: pbdesign runs no simulations, but it carries the
+// repository-wide -metrics/-progress/-debug-addr flags so every tool
+// shares one interface; its summary reports wall time only.
+//
 // Usage:
 //
 //	pbdesign [-x 8] [-foldover] [-example] [-cost N]
+//	         [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
 package main
 
 import (
@@ -11,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"pbsim/internal/obs"
 	"pbsim/internal/pb"
 	"pbsim/internal/report"
 )
@@ -27,7 +33,14 @@ func run() error {
 	foldover := flag.Bool("foldover", false, "append the foldover rows (Table 3)")
 	example := flag.Bool("example", false, "print the paper's worked effects example (Table 4)")
 	cost := flag.Int("cost", 0, "also print the Table 1 design-cost comparison for N parameters")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "pbdesign")
 	flag.Parse()
+
+	sess, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	if *cost > 0 {
 		fmt.Println(report.DesignCost(*cost))

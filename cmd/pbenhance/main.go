@@ -9,10 +9,16 @@
 // distinct labels, so an interrupted comparison resumes without
 // repeating either phase's completed configurations.
 //
+// Observability: -metrics journals both phases' events to one JSONL
+// file (each phase keyed by its own fingerprint), -progress prints
+// live progress and a combined end-of-run summary, and -debug-addr
+// serves expvar and pprof.
+//
 // Usage:
 //
 //	pbenhance [-mechanism precompute|valuereuse] [-table 128] [-n 100000]
 //	          [-timeout 0] [-retries 0] [-checkpoint enhance.jsonl]
+//	          [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"pbsim/internal/enhance"
 	"pbsim/internal/experiment"
 	"pbsim/internal/methodology"
+	"pbsim/internal/obs"
 	"pbsim/internal/paperdata"
 	"pbsim/internal/report"
 	"pbsim/internal/runner"
@@ -50,10 +57,17 @@ func run() error {
 	retries := flag.Int("retries", 0, "extra attempts for a failed configuration")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file shared by the base and enhanced suites")
 	compare := flag.Bool("compare", false, "print the enhanced ordering next to the paper's Table 12 sums")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "pbenhance")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	sess, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	factory, err := shortcutFactory(*mechanism, *tableSize, *warmup+*n)
 	if err != nil {
@@ -68,6 +82,7 @@ func run() error {
 		Retries:      *retries,
 		Checkpoint:   *checkpoint,
 		Label:        "base",
+		Recorder:     sess.Recorder(),
 	}
 	before, err := experiment.RunSuiteCtx(ctx, opts)
 	if err != nil {

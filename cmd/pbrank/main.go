@@ -9,10 +9,17 @@
 // -checkpoint journals completed configurations to a JSONL file so an
 // interrupted run (Ctrl-C included) resumes exactly where it stopped.
 //
+// Observability: -metrics journals run events to a JSONL file keyed
+// by the experiment fingerprint, -progress prints live progress lines
+// and an end-of-run summary (rows/s, latency quantiles, retry and
+// fault totals, resumed vs simulated rows), and -debug-addr serves
+// expvar and pprof while the campaign runs.
+//
 // Usage:
 //
 //	pbrank [-n 100000] [-warmup 30000] [-benchmarks gzip,mcf,...]
 //	       [-timeout 0] [-retries 0] [-checkpoint suite.jsonl]
+//	       [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
 //	       [-compare] [-gap]
 package main
 
@@ -29,6 +36,7 @@ import (
 
 	"pbsim/internal/experiment"
 	"pbsim/internal/methodology"
+	"pbsim/internal/obs"
 	"pbsim/internal/paperdata"
 	"pbsim/internal/pb"
 	"pbsim/internal/report"
@@ -58,10 +66,17 @@ func run() error {
 	verbose := flag.Bool("v", false, "log retries and checkpoint restores")
 	csvRanks := flag.String("csv", "", "also write the rank matrix to this CSV file")
 	csvRaw := flag.String("csv-raw", "", "also write raw per-configuration cycle counts to this CSV file")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "pbrank")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	sess, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	ws, err := selectWorkloads(*benchList)
 	if err != nil {
@@ -76,6 +91,7 @@ func run() error {
 		Timeout:      *timeout,
 		Retries:      *retries,
 		Checkpoint:   *checkpoint,
+		Recorder:     sess.Recorder(),
 	}
 	if *verbose {
 		opts.OnRetry = func(scope string, row, attempt int, delay time.Duration, err error) {

@@ -6,11 +6,16 @@
 // rerun skips them (restored benchmarks report their cycle count; the
 // full statistics are only printed for freshly simulated runs).
 //
+// Observability: -metrics journals run events to JSONL, -progress
+// prints live progress and an end-of-run summary, -debug-addr serves
+// expvar and pprof.
+//
 // Usage:
 //
 //	simrun [-bench gzip] [-n 100000] [-warmup 30000]
 //	       [-config default|all-low|all-high] [-precompute 0]
 //	       [-timeout 0] [-retries 0] [-checkpoint simrun.jsonl]
+//	       [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"syscall"
 
 	"pbsim/internal/enhance"
+	"pbsim/internal/obs"
 	"pbsim/internal/pb"
 	"pbsim/internal/report"
 	"pbsim/internal/runner"
@@ -46,10 +52,17 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed simulation")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; finished benchmarks are skipped on rerun")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "simrun")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	sess, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
 
 	cfg, err := selectConfig(*configSel)
 	if err != nil {
@@ -65,9 +78,13 @@ func run() error {
 		Timeout:     *timeout,
 		Retries:     *retries,
 		Scope:       "simrun",
+		Recorder:    sess.Recorder(),
+	}
+	fp := fmt.Sprintf("simrun|config=%s|n=%d|warmup=%d|precompute=%d", *configSel, *n, *warmup, *precompute)
+	if rec := sess.Recorder(); rec != nil {
+		rec.SuiteStarted(fp, 1, len(names))
 	}
 	if *checkpoint != "" {
-		fp := fmt.Sprintf("simrun|config=%s|n=%d|warmup=%d|precompute=%d", *configSel, *n, *warmup, *precompute)
 		cp, err := runner.OpenCheckpoint(*checkpoint, fp)
 		if err != nil {
 			return err

@@ -5,10 +5,15 @@
 // tolerant: -timeout, -retries, and -checkpoint behave as in pbrank,
 // and Ctrl-C leaves a resumable checkpoint instead of lost work.
 //
+// Observability: -metrics journals every experimental suite's events
+// to one JSONL file, -progress prints live progress and a combined
+// end-of-run summary, -debug-addr serves expvar and pprof.
+//
 // Usage:
 //
 //	tablegen [-out out] [-table 0] [-n 100000] [-warmup 30000]
 //	         [-timeout 0] [-retries 0] [-checkpoint tables.jsonl]
+//	         [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
 //
 // With -table 0 (the default) all tables are generated.
 package main
@@ -27,6 +32,7 @@ import (
 	"pbsim/internal/enhance"
 	"pbsim/internal/experiment"
 	"pbsim/internal/methodology"
+	"pbsim/internal/obs"
 	"pbsim/internal/paperdata"
 	"pbsim/internal/pb"
 	"pbsim/internal/report"
@@ -50,14 +56,22 @@ func run() error {
 	timeout := flag.Duration("timeout", 0, "per-configuration timeout (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed configuration")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file shared by all experimental tables")
+	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "tablegen")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	sess, err := obsFlags.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+
 	g := &generator{
 		ctx: ctx, out: *out, n: *n, warmup: *warmup, par: *par,
 		timeout: *timeout, retries: *retries, checkpoint: *checkpoint,
+		recorder: sess.Recorder(),
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		return err
@@ -91,6 +105,7 @@ type generator struct {
 	timeout    time.Duration
 	retries    int
 	checkpoint string
+	recorder   obs.Recorder
 	// cached experiment results shared between tables
 	base *pb.Suite
 }
@@ -150,6 +165,7 @@ func (g *generator) options(label string) experiment.Options {
 		Retries:      g.retries,
 		Checkpoint:   g.checkpoint,
 		Label:        label,
+		Recorder:     g.recorder,
 	}
 }
 

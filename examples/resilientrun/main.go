@@ -12,13 +12,22 @@
 //     resumed run re-simulates only the missing rows and reproduces
 //     the identical sum-of-ranks ordering.
 //
+// Both phases run under the observability layer (internal/obs): the
+// fault-injected suite aggregates retry/panic/timeout counts through
+// an obs.Metrics recorder, and the resumed suite additionally
+// journals every event to a metrics JSONL whose resumed-vs-simulated
+// accounting is verified against the checkpoint — so this example
+// doubles as an integration smoke test of the obs layer.
+//
 // Run it with:
 //
 //	go run ./examples/resilientrun
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -27,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pbsim/internal/obs"
 	"pbsim/internal/pb"
 	"pbsim/internal/runner"
 )
@@ -80,6 +90,7 @@ func run() error {
 		PanicRows: map[int]int{3: 1},                             // row 3 panics once
 		SlowRows:  map[int]time.Duration{5: 300 * time.Millisecond}, // row 5's first attempt hangs
 	}
+	metrics := obs.NewMetrics()
 	opts := pb.Options{Foldover: true}
 	opts.Runner = runner.Config{
 		Retries:    5,
@@ -87,6 +98,7 @@ func run() error {
 		Backoff:    5 * time.Millisecond,
 		BackoffCap: 50 * time.Millisecond,
 		Wrap:       faults.Wrap,
+		Recorder:   metrics,
 		OnRetry: func(scope string, row, attempt int, delay time.Duration, err error) {
 			fmt.Printf("  retry %s row %d (attempt %d, backoff %v): %v\n", scope, row, attempt, delay, err)
 		},
@@ -95,7 +107,10 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("faulted suite: %w", err)
 	}
-	fmt.Printf("suite completed despite %d injected-fault attempts\n\n", faults.Injected())
+	fmt.Printf("suite completed despite %d injected-fault attempts\n", faults.Injected())
+	fmt.Printf("the metrics agree: %d attempts, %d retries, %d panics, %d timeouts, peak %d workers\n\n",
+		metrics.Attempts.Value(), metrics.Retries.Value(), metrics.Panics.Value(),
+		metrics.Timeouts.Value(), metrics.Workers.Peak())
 
 	fmt.Println("=== Phase 2: crash mid-suite, then checkpoint resume ===")
 	dir, err := os.MkdirTemp("", "resilientrun")
@@ -130,7 +145,9 @@ func run() error {
 	}
 	cp.Close()
 
-	// The resumed run: same checkpoint file, healthy responses.
+	// The resumed run: same checkpoint file, healthy responses, and
+	// the full observability stack — aggregate metrics plus a JSONL
+	// event journal keyed by the experiment fingerprint.
 	re, err := runner.OpenCheckpoint(path, "example")
 	if err != nil {
 		return err
@@ -144,8 +161,17 @@ func run() error {
 			return resp(ctx, levels)
 		}
 	}
+	metricsPath := filepath.Join(dir, "metrics.jsonl")
+	sink, err := obs.OpenJSONL(metricsPath)
+	if err != nil {
+		return err
+	}
+	rmetrics := obs.NewMetrics()
+	rec := obs.Multi(rmetrics, sink)
+	rec.SuiteStarted("example", len(benchmarks), faulted.Design.Runs())
 	ropts := pb.Options{Foldover: true}
 	ropts.Runner.Checkpoint = re
+	ropts.Runner.Recorder = rec
 	resumed, err := pb.RunSuiteCtx(context.Background(), factors, benchmarks, counting, ropts)
 	if err != nil {
 		return fmt.Errorf("resumed suite: %w", err)
@@ -153,6 +179,28 @@ func run() error {
 	total := resumed.Design.Runs() * len(benchmarks)
 	fmt.Printf("resume restored %d rows from the checkpoint and simulated only %d of %d\n",
 		re.Loaded(), simulated.Load(), total)
+
+	// The metrics must tell the same story as the checkpoint and the
+	// counting wrapper — this is the obs layer's integration check.
+	summary := rmetrics.Summary("resilientrun")
+	if summary.RowsResumed != int64(re.Loaded()) || summary.RowsSimulated != simulated.Load() {
+		return fmt.Errorf("metrics disagree with ground truth: %d resumed / %d simulated vs %d / %d",
+			summary.RowsResumed, summary.RowsSimulated, re.Loaded(), simulated.Load())
+	}
+	sink.WriteSummary(summary)
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	hits, finished, err := countEvents(metricsPath)
+	if err != nil {
+		return err
+	}
+	if hits != int(summary.RowsResumed) || finished != int(summary.RowsSimulated) {
+		return fmt.Errorf("metrics JSONL disagrees: %d checkpoint_hit / %d row_finished events vs %d / %d",
+			hits, finished, summary.RowsResumed, summary.RowsSimulated)
+	}
+	fmt.Printf("metrics JSONL agrees: %d checkpoint_hit + %d row_finished events\n\n", hits, finished)
+	fmt.Print(summary.Table())
 
 	// The resumed ordering must equal the faulted (but complete) run's.
 	fmt.Println("\nsum-of-ranks ordering (resumed run):")
@@ -165,4 +213,30 @@ func run() error {
 			pos+1, resumed.Factors[f].Name, resumed.Sums[f], same)
 	}
 	return nil
+}
+
+// countEvents reads a metrics JSONL back and tallies the two row
+// outcomes the resume accounting cares about.
+func countEvents(path string) (checkpointHits, rowsFinished int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var ev struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return 0, 0, fmt.Errorf("bad metrics line %q: %w", sc.Text(), err)
+		}
+		switch ev.T {
+		case "checkpoint_hit":
+			checkpointHits++
+		case "row_finished":
+			rowsFinished++
+		}
+	}
+	return checkpointHits, rowsFinished, sc.Err()
 }

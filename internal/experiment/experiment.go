@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"pbsim/internal/obs"
 	"pbsim/internal/pb"
 	"pbsim/internal/runner"
 	"pbsim/internal/sim"
@@ -73,6 +74,13 @@ type Options struct {
 	OnRow func(scope string, row int, value float64, fromCheckpoint bool)
 	// OnRetry, when non-nil, observes every retry decision.
 	OnRetry func(scope string, row, attempt int, delay time.Duration, err error)
+	// Recorder, when non-nil, receives the full observability event
+	// stream (suite/run lifecycle, per-attempt latency, retries,
+	// checkpoint restores, worker occupancy). The suite announcement
+	// carries the same fingerprint the checkpoint uses, so a metrics
+	// JSONL and a checkpoint JSONL from one campaign join on it.
+	// Recording never changes scheduling or results.
+	Recorder obs.Recorder
 }
 
 // Response builds the pb.FallibleResponse for one workload: each
@@ -144,13 +152,17 @@ func RunSuiteCtx(ctx context.Context, opts Options) (*pb.Suite, error) {
 		Foldover:    opts.Foldover,
 		Parallelism: opts.Parallelism,
 		Runner: runner.Config{
-			Timeout: opts.Timeout,
-			Retries: opts.Retries,
-			Backoff: opts.Backoff,
-			Scope:   label(opts),
-			OnRow:   opts.OnRow,
-			OnRetry: opts.OnRetry,
+			Timeout:  opts.Timeout,
+			Retries:  opts.Retries,
+			Backoff:  opts.Backoff,
+			Scope:    label(opts),
+			OnRow:    opts.OnRow,
+			OnRetry:  opts.OnRetry,
+			Recorder: opts.Recorder,
 		},
+	}
+	if opts.Recorder != nil {
+		opts.Recorder.SuiteStarted(Fingerprint(design, opts), len(ws), design.Runs())
 	}
 	if opts.Checkpoint != "" {
 		cp, err := runner.OpenCheckpoint(opts.Checkpoint, Fingerprint(design, opts))

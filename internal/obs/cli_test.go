@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegisterCLIFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := RegisterCLIFlags(fs, "tool")
+	if err := fs.Parse([]string{"-metrics", "m.jsonl", "-progress", "-debug-addr", "localhost:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.MetricsPath != "m.jsonl" || !c.Progress || c.DebugAddr != "localhost:0" {
+		t.Errorf("flags not bound: %+v", c)
+	}
+}
+
+func TestInertSession(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	c := RegisterCLIFlags(fs, "tool")
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sess, err := c.Start(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Recorder() != nil {
+		t.Error("inert session must hand the runner a nil recorder")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("inert session wrote output: %q", buf.String())
+	}
+}
+
+func TestSessionMetricsAndSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	c := &CLIFlags{Tool: "tool", MetricsPath: path}
+	var buf bytes.Buffer
+	sess, err := c.Start(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sess.Recorder()
+	if rec == nil {
+		t.Fatal("enabled session returned nil recorder")
+	}
+	rec.SuiteStarted("fp", 1, 3)
+	rec.RunStarted("s", 3)
+	rec.RowFinished("s", 0, 1, time.Millisecond, 1, false)
+	rec.RowFinished("s", 1, 1, 0, 0, true)
+	rec.RunFinished("s", 10*time.Millisecond)
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1 simulated + 1 resumed") {
+		t.Errorf("summary table missing resumed/simulated split:\n%s", buf.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"t":"summary"`) {
+		t.Errorf("metrics file missing summary event:\n%s", data)
+	}
+	// Close is idempotent.
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionProgressLines(t *testing.T) {
+	c := &CLIFlags{Tool: "tool", Progress: true, ProgressInterval: 5 * time.Millisecond}
+	pr, pw := io.Pipe()
+	defer pr.Close()
+	lines := make(chan string, 64)
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := pr.Read(buf)
+			if n > 0 {
+				lines <- string(buf[:n])
+			}
+			if err != nil {
+				close(lines)
+				return
+			}
+		}
+	}()
+	sess, err := c.Start(pw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := sess.Recorder()
+	rec.SuiteStarted("fp", 1, 4)
+	rec.RunStarted("s", 4)
+	rec.RowFinished("s", 0, 1, time.Millisecond, 1, false)
+	deadline := time.After(2 * time.Second)
+	var got string
+	for !strings.Contains(got, "rows") {
+		select {
+		case chunk := <-lines:
+			got += chunk
+		case <-deadline:
+			t.Fatalf("no progress line within deadline; got %q", got)
+		}
+	}
+	if !strings.Contains(got, "tool: 1/4 rows") {
+		t.Errorf("progress line = %q, want it to report 1/4 rows", got)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+}
+
+func TestDebugServer(t *testing.T) {
+	m := NewMetrics()
+	m.RowFinished("s", 0, 1, time.Millisecond, 1, false)
+	d, err := ServeDebug("127.0.0.1:0", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", d.Addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	var payload map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &payload); err != nil {
+		t.Fatalf("expvar output is not JSON: %v", err)
+	}
+	if _, ok := payload["pbsim"]; !ok {
+		t.Errorf("/debug/vars missing pbsim variable: %s", vars)
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Errorf("pprof index looks wrong: %.200s", idx)
+	}
+}
+
+func TestDebugServerBadAddr(t *testing.T) {
+	if _, err := ServeDebug("256.256.256.256:99999", nil); err == nil {
+		t.Fatal("expected bind error")
+	}
+}

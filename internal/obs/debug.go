@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// The expvar variable is registered at most once per process (expvar
+// panics on duplicate names); the pointer it dereferences is swapped
+// so chained sessions publish their current Metrics.
+var (
+	expvarMetrics  atomic.Pointer[Metrics]
+	expvarRegister = func() {
+		expvar.Publish("pbsim", expvar.Func(func() any {
+			if m := expvarMetrics.Load(); m != nil {
+				return m.Snapshot()
+			}
+			return nil
+		}))
+	}
+	expvarOnce atomic.Bool
+)
+
+// PublishExpvar exposes m as the process's "pbsim" expvar variable
+// (visible at /debug/vars on the debug server).
+func PublishExpvar(m *Metrics) {
+	expvarMetrics.Store(m)
+	if expvarOnce.CompareAndSwap(false, true) {
+		expvarRegister()
+	}
+}
+
+// DebugServer is the opt-in diagnostics endpoint behind the CLIs'
+// -debug-addr flag: /debug/vars (expvar, including the live campaign
+// snapshot) and /debug/pprof (CPU, heap, goroutine, block, mutex
+// profiles) on a dedicated mux, so enabling diagnostics can never
+// collide with anything on http.DefaultServeMux.
+type DebugServer struct {
+	Addr string // actual listen address (resolves ":0" requests)
+	srv  *http.Server
+}
+
+// ServeDebug starts the diagnostics server on addr (e.g.
+// "localhost:6060"). It binds synchronously — a bad address fails
+// fast — then serves in the background until Close.
+func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
+	if m != nil {
+		PublishExpvar(m)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	d := &DebugServer{
+		Addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: mux},
+	}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return d, nil
+}
+
+// Close stops the diagnostics server immediately.
+func (d *DebugServer) Close() error {
+	if d == nil || d.srv == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pbsim/internal/obs"
 )
 
 // Task computes the response value of one row. The context carries the
@@ -79,6 +81,15 @@ type Config struct {
 	// OnRow, when non-nil, is called after each row completes,
 	// including rows restored from the checkpoint.
 	OnRow func(scope string, row int, value float64, fromCheckpoint bool)
+	// Recorder, when non-nil, observes the evaluation: run start and
+	// finish, per-row queue wait, worker occupancy, per-attempt
+	// latency with classified outcome (error/panic/timeout), retries,
+	// completions (checkpoint restores included), and permanent
+	// failures. A nil Recorder adds zero overhead — not even clock
+	// reads — and obs.Nop adds zero allocations (see the benchmark in
+	// this package). Recorders only observe; scheduling, retry
+	// decisions, and results are bit-identical with or without one.
+	Recorder obs.Recorder
 
 	// sleep is the backoff clock, injectable by tests.
 	sleep func(ctx context.Context, d time.Duration) error
@@ -175,6 +186,19 @@ func Evaluate(ctx context.Context, n int, task Task, cfg Config) ([]float64, err
 	if cfg.Wrap != nil {
 		task = cfg.Wrap(task)
 	}
+	// Observability: a nil Recorder costs nothing (no clock reads);
+	// any non-nil Recorder — including obs.Nop — exercises the full
+	// instrumentation path so its overhead can be benchmarked.
+	rec := cfg.Recorder
+	instrumented := rec != nil
+	if !instrumented {
+		rec = obs.Nop{}
+	}
+	var runStart time.Time
+	if instrumented {
+		runStart = time.Now()
+	}
+	rec.RunStarted(cfg.Scope, n)
 
 	responses := make([]float64, n)
 	var (
@@ -192,22 +216,32 @@ func Evaluate(ctx context.Context, n int, task Task, cfg Config) ([]float64, err
 				if i >= n || ctx.Err() != nil {
 					return
 				}
+				var rowStart time.Time
+				if instrumented {
+					rowStart = time.Now()
+					rec.QueueWait(cfg.Scope, i, rowStart.Sub(runStart))
+					rec.WorkerActive(1)
+				}
 				if cfg.Checkpoint != nil {
 					if v, ok := cfg.Checkpoint.Lookup(cfg.Scope, i); ok {
 						responses[i] = v
+						rec.RowFinished(cfg.Scope, i, v, 0, 0, true)
+						rec.WorkerActive(-1)
 						if cfg.OnRow != nil {
 							cfg.OnRow(cfg.Scope, i, v, true)
 						}
 						continue
 					}
 				}
-				v, err := evaluateRow(ctx, task, i, cfg)
+				v, attempts, err := evaluateRow(ctx, task, i, cfg, rec, instrumented)
 				if err != nil {
+					rec.WorkerActive(-1)
 					if ctx.Err() != nil {
 						// The run was cancelled; the row did not fail
 						// on its own merits.
 						return
 					}
+					rec.RowFailed(cfg.Scope, i, err.Attempts, err.Err)
 					mu.Lock()
 					failed = append(failed, err)
 					mu.Unlock()
@@ -216,12 +250,21 @@ func Evaluate(ctx context.Context, n int, task Task, cfg Config) ([]float64, err
 				responses[i] = v
 				if cfg.Checkpoint != nil {
 					if cerr := cfg.Checkpoint.Record(cfg.Scope, i, v); cerr != nil {
+						werr := fmt.Errorf("checkpoint write: %w", cerr)
+						rec.RowFailed(cfg.Scope, i, attempts, werr)
+						rec.WorkerActive(-1)
 						mu.Lock()
-						failed = append(failed, &RowError{Scope: cfg.Scope, Row: i, Attempts: 1, Err: fmt.Errorf("checkpoint write: %w", cerr)})
+						failed = append(failed, &RowError{Scope: cfg.Scope, Row: i, Attempts: 1, Err: werr})
 						mu.Unlock()
 						continue
 					}
 				}
+				var rowLatency time.Duration
+				if instrumented {
+					rowLatency = time.Since(rowStart)
+				}
+				rec.RowFinished(cfg.Scope, i, v, rowLatency, attempts, false)
+				rec.WorkerActive(-1)
 				if cfg.OnRow != nil {
 					cfg.OnRow(cfg.Scope, i, v, false)
 				}
@@ -229,6 +272,11 @@ func Evaluate(ctx context.Context, n int, task Task, cfg Config) ([]float64, err
 		}()
 	}
 	wg.Wait()
+	var runElapsed time.Duration
+	if instrumented {
+		runElapsed = time.Since(runStart)
+	}
+	rec.RunFinished(cfg.Scope, runElapsed)
 	if err := ctx.Err(); err != nil {
 		return responses, fmt.Errorf("runner: evaluation interrupted: %w", err)
 	}
@@ -239,25 +287,34 @@ func Evaluate(ctx context.Context, n int, task Task, cfg Config) ([]float64, err
 	return responses, nil
 }
 
-// evaluateRow runs one row's full attempt loop. It returns a *RowError
-// only when the row fails permanently; cancellation of the parent
-// context surfaces as an error the caller discards after checking ctx.
-func evaluateRow(ctx context.Context, task Task, row int, cfg Config) (float64, *RowError) {
+// evaluateRow runs one row's full attempt loop, returning the value
+// and the number of attempts consumed. It returns a *RowError only
+// when the row fails permanently; cancellation of the parent context
+// surfaces as an error the caller discards after checking ctx.
+func evaluateRow(ctx context.Context, task Task, row int, cfg Config, rec obs.Recorder, instrumented bool) (float64, int, *RowError) {
 	var lastErr error
 	attempts := cfg.Retries + 1
 	for attempt := 0; attempt < attempts; attempt++ {
 		if ctx.Err() != nil {
-			return 0, &RowError{Scope: cfg.Scope, Row: row, Attempts: attempt, Err: ctx.Err()}
+			return 0, attempt, &RowError{Scope: cfg.Scope, Row: row, Attempts: attempt, Err: ctx.Err()}
+		}
+		var attemptStart time.Time
+		if instrumented {
+			attemptStart = time.Now()
 		}
 		v, err := attemptRow(ctx, task, row, cfg.Timeout)
+		if instrumented {
+			rec.AttemptDone(cfg.Scope, row, attempt, time.Since(attemptStart), classifyOutcome(err), err)
+		}
 		if err == nil {
-			return v, nil
+			return v, attempt + 1, nil
 		}
 		lastErr = err
 		if attempt == attempts-1 || ctx.Err() != nil {
 			break
 		}
 		delay := backoffDelay(cfg, row, attempt)
+		rec.RowRetried(cfg.Scope, row, attempt+1, delay, err)
 		if cfg.OnRetry != nil {
 			cfg.OnRetry(cfg.Scope, row, attempt+1, delay, err)
 		}
@@ -265,7 +322,24 @@ func evaluateRow(ctx context.Context, task Task, row int, cfg Config) (float64, 
 			break // cancelled during backoff
 		}
 	}
-	return 0, &RowError{Scope: cfg.Scope, Row: row, Attempts: attempts, Err: lastErr}
+	return 0, attempts, &RowError{Scope: cfg.Scope, Row: row, Attempts: attempts, Err: lastErr}
+}
+
+// classifyOutcome maps an attempt error onto the obs event taxonomy.
+// The runner owns this mapping because only it knows its error types;
+// package obs stays free of module dependencies.
+func classifyOutcome(err error) obs.Outcome {
+	if err == nil {
+		return obs.OK
+	}
+	var p *PanicError
+	if errors.As(err, &p) {
+		return obs.Panicked
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return obs.TimedOut
+	}
+	return obs.Errored
 }
 
 // attemptRow runs a single attempt under the per-attempt timeout,

@@ -71,9 +71,14 @@ func Median(xs []float64) float64 {
 }
 
 // Speedup returns base/enhanced, the conventional architecture
-// speedup metric for execution times.
+// speedup metric for execution times. A zero enhanced time yields
+// +Inf (the enhancement eliminated all work), except that 0/0 has no
+// defined speedup and yields NaN.
 func Speedup(baseTime, enhancedTime float64) float64 {
 	if enhancedTime == 0 {
+		if baseTime == 0 {
+			return math.NaN()
+		}
 		return math.Inf(1)
 	}
 	return baseTime / enhancedTime

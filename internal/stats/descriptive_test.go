@@ -1,0 +1,139 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+const eps = 1e-12
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{7}, 7},
+		{"pair", []float64{1, 3}, 2},
+		{"negatives", []float64{-2, -4, 6}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !almostEqual(got, c.want) {
+			t.Errorf("Mean(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(empty) = %v, want 0", got)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Errorf("Variance(n=1) = %v, want 0 (undefined sample variance reported as 0)", got)
+	}
+	// Hand-computed: {2, 4, 4, 4, 5, 5, 7, 9} has sample variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got, want := Variance(xs), 32.0/7.0; !almostEqual(got, want) {
+		t.Errorf("Variance = %v, want %v", got, want)
+	}
+	if got, want := StdDev(xs), math.Sqrt(32.0/7.0); !almostEqual(got, want) {
+		t.Errorf("StdDev = %v, want %v", got, want)
+	}
+	if got := Variance([]float64{3, 3, 3}); got != 0 {
+		t.Errorf("Variance(constant) = %v, want 0", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{9}, 9},
+		{"odd", []float64{5, 1, 3}, 3},
+		{"even", []float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); !almostEqual(got, c.want) {
+			t.Errorf("Median(%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// The input must not be reordered.
+	xs := []float64{5, 1, 3}
+	Median(xs)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("Median mutated its input: %v", xs)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if _, err := GeometricMean(nil); err == nil {
+		t.Error("GeometricMean(empty) should error")
+	}
+	if _, err := GeometricMean([]float64{1, 0, 2}); err == nil {
+		t.Error("GeometricMean with zero should error")
+	}
+	if _, err := GeometricMean([]float64{1, -2}); err == nil {
+		t.Error("GeometricMean with negative should error")
+	}
+	got, err := GeometricMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4.0; !almostEqual(got, want) {
+		t.Errorf("GeometricMean(2, 8) = %v, want %v", got, want)
+	}
+	got, err = GeometricMean([]float64{42})
+	if err != nil || !almostEqual(got, 42) {
+		t.Errorf("GeometricMean(42) = %v, %v; want 42, nil", got, err)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if _, err := HarmonicMean(nil); err == nil {
+		t.Error("HarmonicMean(empty) should error")
+	}
+	if _, err := HarmonicMean([]float64{1, 0}); err == nil {
+		t.Error("HarmonicMean with zero should error")
+	}
+	if _, err := HarmonicMean([]float64{-1}); err == nil {
+		t.Error("HarmonicMean with negative should error")
+	}
+	got, err := HarmonicMean([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3.0 / (1 + 0.5 + 0.25); !almostEqual(got, want) {
+		t.Errorf("HarmonicMean(1,2,4) = %v, want %v", got, want)
+	}
+}
+
+// TestSpeedup pins the division-edge behavior: a 0/0 "speedup" is
+// undefined and must be NaN, never +Inf.
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 5); !almostEqual(got, 2) {
+		t.Errorf("Speedup(10, 5) = %v, want 2", got)
+	}
+	if got := Speedup(5, 10); !almostEqual(got, 0.5) {
+		t.Errorf("Speedup(5, 10) = %v, want 0.5", got)
+	}
+	if got := Speedup(10, 0); !math.IsInf(got, 1) {
+		t.Errorf("Speedup(10, 0) = %v, want +Inf", got)
+	}
+	if got := Speedup(0, 0); !math.IsNaN(got) {
+		t.Errorf("Speedup(0, 0) = %v, want NaN", got)
+	}
+	if got := Speedup(0, 10); got != 0 {
+		t.Errorf("Speedup(0, 10) = %v, want 0", got)
+	}
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# cover.sh — run the test suite with coverage, print a per-package
+# summary, and enforce per-package floors on the packages whose
+# correctness the campaign engine leans on hardest.
+#
+# Usage: scripts/cover.sh [output-profile]
+set -euo pipefail
+
+profile="${1:-coverage.out}"
+
+# Floors (percent). Raise them as coverage grows; never lower them to
+# make a failing build pass — write the missing test instead.
+declare -A floors=(
+	["pbsim/internal/obs"]=80
+	["pbsim/internal/stats"]=95
+	["pbsim/internal/runner"]=75
+)
+
+go test -covermode=atomic -coverprofile="$profile" ./... | tee /tmp/cover-packages.txt
+
+echo
+echo "== per-package coverage =="
+fail=0
+while read -r line; do
+	pkg=$(awk '{print $2}' <<<"$line")
+	pct=$(grep -o 'coverage: [0-9.]*%' <<<"$line" | grep -o '[0-9.]*' || true)
+	[[ -z "$pct" ]] && continue
+	floor="${floors[$pkg]:-}"
+	if [[ -n "$floor" ]]; then
+		if awk -v p="$pct" -v f="$floor" 'BEGIN { exit !(p < f) }'; then
+			echo "FAIL  $pkg  ${pct}% (floor ${floor}%)"
+			fail=1
+		else
+			echo "ok    $pkg  ${pct}% (floor ${floor}%)"
+		fi
+	else
+		echo "      $pkg  ${pct}%"
+	fi
+done < <(grep '^ok' /tmp/cover-packages.txt)
+
+echo
+go tool cover -func="$profile" | tail -n 1
+
+if [[ $fail -ne 0 ]]; then
+	echo "coverage floor violated" >&2
+	exit 1
+fi
