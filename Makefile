@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench check cover
+.PHONY: all build vet lint test race short bench check cover
 
 all: check
 
@@ -9,6 +9,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# pbcheck is the repository's own stdlib-only static-analysis suite
+# (see internal/analysis): determinism, nopanic, floateq, errdiscard,
+# ctxflow. Exit 1 means an unsuppressed finding; waivers need a
+# reasoned //pbcheck:ignore.
+lint:
+	$(GO) run ./cmd/pbcheck ./...
 
 test:
 	$(GO) test ./...
@@ -30,4 +37,4 @@ bench:
 cover:
 	bash scripts/cover.sh coverage.out
 
-check: build vet race
+check: build vet lint race

@@ -240,7 +240,12 @@ func BenchmarkAblationFoldover(b *testing.B) {
 // benchmarks above.
 func BenchmarkAblationOneAtATime(b *testing.B) {
 	ws := benchWorkloads(b, "gzip")
-	resp := experiment.Response(ws[0], benchWarmup, benchInstr, nil).Must()
+	resp, respErr := experiment.Response(ws[0], benchWarmup, benchInstr, nil).Infallible()
+	defer func() {
+		if err := respErr(); err != nil {
+			b.Fatal(err)
+		}
+	}()
 	base := make([]int8, 41)
 	for i := range base {
 		base[i] = -1

@@ -1,0 +1,93 @@
+// Command pbcheck runs the project's static-analysis suite: five
+// analyzers enforcing the reproducibility invariants the PB
+// methodology depends on (determinism, nopanic, floateq, errdiscard,
+// ctxflow), built purely on the standard library's go/parser +
+// go/types.
+//
+// Usage:
+//
+//	pbcheck [flags] [packages]
+//
+// Packages use go-tool patterns (./..., ./internal/stats, import
+// paths); the default is ./... from the enclosing module root.
+//
+// Exit codes: 0 clean, 1 findings, 2 load/usage error — suitable for
+// CI gates. Findings are waived per line with
+// //pbcheck:ignore <rule> <reason>; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbsim/internal/analysis"
+	"pbsim/internal/analysis/rules"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("pbcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut    = fs.Bool("json", false, "emit the full diagnostic report (suppressed findings included) as JSON")
+		list       = fs.Bool("list", false, "list the analyzers and the invariant each enforces, then exit")
+		ruleList   = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		tests      = fs.Bool("tests", false, "also analyze _test.go files of each package")
+		suppressed = fs.Bool("suppressed", false, "show suppressed findings (with their reasons) in plain output")
+		dir        = fs.String("C", ".", "directory whose enclosing module to analyze")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	selected, unknown := rules.Select(*ruleList)
+	if len(unknown) > 0 {
+		fmt.Fprintf(stderr, "pbcheck: unknown rule(s) %v; run pbcheck -list\n", unknown)
+		return 2
+	}
+	if *list {
+		for _, a := range rules.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	loader, err := analysis.NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "pbcheck: %v\n", err)
+		return 2
+	}
+	loader.IncludeTests = *tests
+	dirs, err := analysis.ExpandPatterns(loader.Root, loader.Module, fs.Args())
+	if err != nil {
+		fmt.Fprintf(stderr, "pbcheck: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		fmt.Fprintf(stderr, "pbcheck: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(pkgs, selected)
+	if err != nil {
+		fmt.Fprintf(stderr, "pbcheck: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(stdout, loader.Root, diags); err != nil {
+			fmt.Fprintf(stderr, "pbcheck: %v\n", err)
+			return 2
+		}
+	} else {
+		analysis.WritePlain(stdout, loader.Root, diags, *suppressed)
+	}
+	if analysis.Active(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -39,7 +39,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	source := flag.String("source", "paper", "rank source: 'paper' (published Table 9) or 'sim' (fresh measurement)")
 	threshold := flag.Float64("threshold", paperdata.Threshold, "similarity threshold (paper uses sqrt(4000) ~ 63.2); 0 selects the 15th percentile of measured distances")
 	dendro := flag.Bool("dendrogram", false, "also print a single-linkage clustering dendrogram")
@@ -58,7 +58,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
+	defer obs.FoldClose(&err, sess)
 
 	m, err := buildMatrix(ctx, *source, *n, *warmup, *timeout, *retries, *checkpoint, sess.Recorder())
 	if err != nil {

@@ -28,7 +28,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	x := flag.Int("x", 8, "base design size (a supported multiple of four)")
 	foldover := flag.Bool("foldover", false, "append the foldover rows (Table 3)")
 	example := flag.Bool("example", false, "print the paper's worked effects example (Table 4)")
@@ -40,7 +40,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
+	defer obs.FoldClose(&err, sess)
 
 	if *cost > 0 {
 		fmt.Println(report.DesignCost(*cost))

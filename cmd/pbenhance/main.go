@@ -47,7 +47,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	mechanism := flag.String("mechanism", "precompute", "enhancement: 'precompute' (static table) or 'valuereuse' (dynamic)")
 	tableSize := flag.Int("table", 128, "enhancement table entries (paper uses 128)")
 	n := flag.Int64("n", experiment.DefaultInstructions, "instructions measured per configuration")
@@ -67,7 +67,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
+	defer obs.FoldClose(&err, sess)
 
 	factory, err := shortcutFactory(*mechanism, *tableSize, *warmup+*n)
 	if err != nil {

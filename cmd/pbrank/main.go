@@ -51,7 +51,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	n := flag.Int64("n", experiment.DefaultInstructions, "instructions measured per configuration")
 	warmup := flag.Int64("warmup", experiment.DefaultWarmup, "warmup instructions per configuration")
 	benchList := flag.String("benchmarks", "", "comma-separated subset of benchmarks (default: all 13)")
@@ -76,7 +76,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
+	defer obs.FoldClose(&err, sess)
 
 	ws, err := selectWorkloads(*benchList)
 	if err != nil {
@@ -173,6 +173,7 @@ func writeCSV(path string, suite *pb.Suite, fn func(w io.Writer, s *pb.Suite) er
 	if err != nil {
 		return err
 	}
+	//pbcheck:ignore errdiscard error-path cleanup only; the success path checks the Close below
 	defer f.Close()
 	if err := fn(f, suite); err != nil {
 		return err

@@ -43,7 +43,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	bench := flag.String("bench", "gzip", "benchmark name (or 'all')")
 	n := flag.Int64("n", 100000, "instructions to measure")
 	warmup := flag.Int64("warmup", 30000, "instructions to warm up before measuring")
@@ -62,7 +62,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
+	defer obs.FoldClose(&err, sess)
 
 	cfg, err := selectConfig(*configSel)
 	if err != nil {
@@ -89,7 +89,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		defer cp.Close()
+		defer obs.FoldClose(&err, cp)
 		rcfg.Checkpoint = cp
 	}
 

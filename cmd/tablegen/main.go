@@ -47,7 +47,7 @@ func main() {
 	}
 }
 
-func run() error {
+func run() (err error) {
 	out := flag.String("out", "out", "output directory")
 	table := flag.Int("table", 0, "table to generate (1..12, 0 = all)")
 	n := flag.Int64("n", experiment.DefaultInstructions, "instructions per configuration for tables 9-12")
@@ -66,7 +66,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer sess.Close()
+	defer obs.FoldClose(&err, sess)
 
 	g := &generator{
 		ctx: ctx, out: *out, n: *n, warmup: *warmup, par: *par,

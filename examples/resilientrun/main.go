@@ -67,6 +67,7 @@ func suite() ([]pb.Factor, []string, []pb.FallibleResponse) {
 	responses := make([]pb.FallibleResponse, len(benchmarks))
 	for bi := range benchmarks {
 		w := weights[bi]
+		//pbcheck:ignore ctxflow the synthetic response is pure arithmetic with nothing cancellable; ctx is unused by design
 		responses[bi] = func(_ context.Context, levels []pb.Level) (float64, error) {
 			cycles := 10000.0
 			for j, lv := range levels {
@@ -80,14 +81,14 @@ func suite() ([]pb.Factor, []string, []pb.FallibleResponse) {
 	return factors, benchmarks, responses
 }
 
-func run() error {
+func run() (err error) {
 	factors, benchmarks, responses := suite()
 
 	fmt.Println("=== Phase 1: suite under injected faults ===")
 	faults := &runner.Faults{
 		Seed:      2026,
-		FailProb:  0.15,                                          // seeded transient failures
-		PanicRows: map[int]int{3: 1},                             // row 3 panics once
+		FailProb:  0.15,                                             // seeded transient failures
+		PanicRows: map[int]int{3: 1},                                // row 3 panics once
 		SlowRows:  map[int]time.Duration{5: 300 * time.Millisecond}, // row 5's first attempt hangs
 	}
 	metrics := obs.NewMetrics()
@@ -117,7 +118,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //pbcheck:ignore errdiscard best-effort temp-dir cleanup; nothing actionable on failure
 	path := filepath.Join(dir, "suite.jsonl")
 
 	// The "crashing" first run: the response budget dies after 20 rows.
@@ -143,7 +144,9 @@ func run() error {
 	} else {
 		fmt.Printf("first run died as planned: %v\n", err)
 	}
-	cp.Close()
+	if err := cp.Close(); err != nil {
+		return err
+	}
 
 	// The resumed run: same checkpoint file, healthy responses, and
 	// the full observability stack — aggregate metrics plus a JSONL
@@ -152,7 +155,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer re.Close()
+	defer obs.FoldClose(&err, re)
 	var simulated atomic.Int64
 	counting := make([]pb.FallibleResponse, len(responses))
 	for i, resp := range responses {
@@ -222,7 +225,7 @@ func countEvents(path string) (checkpointHits, rowsFinished int, err error) {
 	if err != nil {
 		return 0, 0, err
 	}
-	defer f.Close()
+	defer obs.FoldClose(&err, f)
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {
 		var ev struct {

@@ -32,7 +32,7 @@ func main() {
 	if err != nil {
 		panic(err)
 	}
-	resp := experiment.Response(w, warmup, instructions, nil).Must()
+	resp, respErr := experiment.Response(w, warmup, instructions, nil).Infallible()
 	factors := []string{}
 	for _, f := range experimentFactors() {
 		factors = append(factors, f.Name)
@@ -58,6 +58,9 @@ func main() {
 	// the whole parameter space.
 	pbRes, err := pb.Run(experimentFactors(), resp, pb.Options{Foldover: true})
 	if err != nil {
+		panic(err)
+	}
+	if err := respErr(); err != nil {
 		panic(err)
 	}
 

@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// RelPosition rewrites an absolute diagnostic filename relative to
+// root, leaving foreign paths untouched.
+func RelPosition(root, filename string) string {
+	if root == "" || !filepath.IsAbs(filename) {
+		return filename
+	}
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}
+
+// WritePlain prints diagnostics in the classic compiler format
+//
+//	file:line:col: rule: message
+//
+// Suppressed findings are hidden unless showSuppressed is set, in
+// which case they are annotated with the waiver's reason. It returns
+// the number of lines written.
+func WritePlain(w io.Writer, root string, diags []Diagnostic, showSuppressed bool) int {
+	n := 0
+	for _, d := range diags {
+		if d.Suppressed && !showSuppressed {
+			continue
+		}
+		suffix := ""
+		if d.Suppressed {
+			suffix = fmt.Sprintf(" (suppressed: %s)", d.Reason)
+		}
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s%s\n",
+			RelPosition(root, d.Position.Filename), d.Position.Line, d.Position.Column,
+			d.Rule, d.Message, suffix)
+		n++
+	}
+	return n
+}
+
+// jsonDiagnostic is the stable wire form of one finding.
+type jsonDiagnostic struct {
+	Rule       string `json:"rule"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// jsonReport is the top-level -json document: the findings plus the
+// counts CI dashboards need without re-deriving them.
+type jsonReport struct {
+	Findings   int              `json:"findings"`
+	Suppressed int              `json:"suppressed"`
+	Diags      []jsonDiagnostic `json:"diagnostics"`
+}
+
+// WriteJSON emits every diagnostic — suppressed ones included and
+// marked, so the CI artifact records the full waiver ledger — as one
+// indented JSON document.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	report := jsonReport{Diags: []jsonDiagnostic{}}
+	for _, d := range diags {
+		if d.Suppressed {
+			report.Suppressed++
+		} else {
+			report.Findings++
+		}
+		report.Diags = append(report.Diags, jsonDiagnostic{
+			Rule:       d.Rule,
+			File:       RelPosition(root, d.Position.Filename),
+			Line:       d.Position.Line,
+			Col:        d.Position.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+			Reason:     d.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

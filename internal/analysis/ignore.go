@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//pbcheck:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory: a suppression is a claim that the invariant
+// does not apply here, and the claim must be argued in the source. A
+// suppression covers findings of the named rule(s) on its own line
+// (trailing-comment form) and on the line directly below it
+// (standalone-comment form). A malformed suppression — missing rule,
+// missing reason, or naming a rule that does not exist — is itself a
+// finding under the reserved rule name "ignore", which cannot be
+// suppressed.
+
+// IgnoreRule is the reserved rule name for malformed suppression
+// comments.
+const IgnoreRule = "ignore"
+
+const ignoreMarker = "pbcheck:ignore"
+
+// suppression is one parsed //pbcheck:ignore comment.
+type suppression struct {
+	file   string
+	line   int // line the comment sits on; covers line and line+1
+	rules  map[string]bool
+	reason string
+}
+
+// scanSuppressions parses every //pbcheck:ignore comment in the
+// package. known maps valid rule names; unknown names produce
+// diagnostics so stale suppressions cannot rot silently.
+func scanSuppressions(pkg *Package, known map[string]bool) ([]suppression, []Diagnostic) {
+	var sups []suppression
+	var diags []Diagnostic
+	report := func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Rule:     IgnoreRule,
+			Position: pkg.Fset.Position(pos),
+			Message:  msg,
+		})
+	}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*") // block form tolerated
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignoreMarker)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					report(c.Pos(), "//pbcheck:ignore needs a rule and a reason: //pbcheck:ignore <rule> <reason>")
+					continue
+				}
+				if len(fields) < 2 {
+					report(c.Pos(), "//pbcheck:ignore "+fields[0]+" needs a reason explaining why the invariant does not apply here")
+					continue
+				}
+				rules := make(map[string]bool)
+				bad := false
+				for _, r := range strings.Split(fields[0], ",") {
+					if r == "" || !known[r] {
+						report(c.Pos(), "//pbcheck:ignore names unknown rule "+strings.TrimSpace(r)+" (run pbcheck -list for valid rules)")
+						bad = true
+						continue
+					}
+					rules[r] = true
+				}
+				if bad && len(rules) == 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				sups = append(sups, suppression{
+					file:   pos.Filename,
+					line:   pos.Line,
+					rules:  rules,
+					reason: strings.TrimSpace(strings.Join(fields[1:], " ")),
+				})
+			}
+		}
+	}
+	return sups, diags
+}
+
+// applySuppressions marks diagnostics covered by a suppression. The
+// reserved "ignore" rule is never suppressible.
+func applySuppressions(diags []Diagnostic, sups []suppression) {
+	for i := range diags {
+		d := &diags[i]
+		if d.Rule == IgnoreRule {
+			continue
+		}
+		for _, s := range sups {
+			if s.file != d.Position.Filename || !s.rules[d.Rule] {
+				continue
+			}
+			if d.Position.Line == s.line || d.Position.Line == s.line+1 {
+				d.Suppressed = true
+				d.Reason = s.reason
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pbsim/internal/analysis"
+)
+
+// CtxFlow requires that a function accepting a context.Context
+// actually uses it — propagating it to callees or checking
+// cancellation — and that it does not sprout a fresh
+// context.Background()/TODO() that severs the cancellation chain.
+//
+// The runner's draining guarantee (SIGINT cancels the suite and every
+// in-flight row observes it) only holds if the context threads
+// unbroken from the CLI through pb into the row evaluators. A dropped
+// or replaced ctx is a row that keeps simulating after the user asked
+// it to stop.
+var CtxFlow = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc:  "functions accepting a context.Context must propagate or check it, and must not replace it with context.Background/TODO",
+	Run:  runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			params := ctxParams(info, ft)
+			if len(params) == 0 {
+				return true
+			}
+			for _, p := range params {
+				if p.Name == "_" {
+					pass.Reportf(p.Pos(), "context.Context parameter is discarded (_); name and propagate it, or drop it from the signature")
+					continue
+				}
+				if obj := info.Defs[p]; obj != nil && !identUsed(info, body, obj) {
+					pass.Reportf(p.Pos(), "context.Context parameter %s is never propagated or checked; thread it to callees or watch ctx.Done/ctx.Err", p.Name)
+				}
+			}
+			checkFreshContext(pass, info, body)
+			return true
+		})
+	}
+}
+
+// ctxParams returns the name identifiers of every context.Context
+// parameter in the signature (anonymous parameters yield nothing —
+// the type checker has no object for them — so they are reported via
+// the "_" convention only when explicitly blanked).
+func ctxParams(info *types.Info, ft *ast.FuncType) []*ast.Ident {
+	if ft.Params == nil {
+		return nil
+	}
+	var out []*ast.Ident
+	for _, field := range ft.Params.List {
+		if !isContextType(info.TypeOf(field.Type)) {
+			continue
+		}
+		out = append(out, field.Names...)
+	}
+	return out
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// identUsed reports whether any identifier in body resolves to obj.
+func identUsed(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// checkFreshContext flags context.Background()/context.TODO() calls
+// in a body whose function already receives a ctx. Nested function
+// literals that accept their own ctx are skipped — they are checked
+// as functions in their own right.
+func checkFreshContext(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if len(ctxParams(info, n.Type)) > 0 {
+				return false
+			}
+		case *ast.CallExpr:
+			obj := calleeObject(info, n)
+			if isPkgFunc(obj, "context", "Background") || isPkgFunc(obj, "context", "TODO") {
+				pass.Reportf(n.Pos(), "context.%s creates a fresh context inside a function that already receives one; propagate the ctx parameter so cancellation reaches this call", obj.Name())
+			}
+		}
+		return true
+	})
+}

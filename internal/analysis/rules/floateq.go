@@ -1,0 +1,64 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+
+	"pbsim/internal/analysis"
+)
+
+// floatEqAllowed names the approved tolerance helpers: functions in a
+// stats package whose entire job is comparing floats, and which
+// therefore may use the raw operators (e.g. to compare infinities
+// exactly after the NaN/tolerance cases are handled).
+var floatEqAllowed = map[string]bool{
+	"ApproxEqual": true,
+}
+
+// statsSegment matches the packages allowed to host tolerance
+// helpers.
+var statsSegment = map[string]bool{"stats": true}
+
+// FloatEq forbids == and != on floating-point operands outside the
+// approved tolerance helpers in stats.
+//
+// Exact float equality is how bit-reproducibility regressions hide:
+// two mathematically equal expressions compare unequal after a
+// reassociation, or — worse — a comparison that happens to hold on
+// one machine silently gates logic that diverges on another. Every
+// float comparison must state its tolerance explicitly via
+// stats.ApproxEqual (tolerance 0 is exact equality, stated rather
+// than implied).
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on float operands outside approved tolerance helpers in stats (use stats.ApproxEqual)",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	inStats := pathHasSegment(pass.Path(), statsSegment)
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && inStats && floatEqAllowed[fd.Name.Name] {
+				continue // approved helper: raw comparisons are its job
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					if isFloat(info.TypeOf(n.X)) || isFloat(info.TypeOf(n.Y)) {
+						pass.Reportf(n.OpPos, "%s on float operands: exact float equality is not reproducible across reassociation; use stats.ApproxEqual (tolerance 0 for intentional exact compare)", n.Op)
+					}
+				case *ast.SwitchStmt:
+					if n.Tag != nil && isFloat(info.TypeOf(n.Tag)) {
+						pass.Reportf(n.Tag.Pos(), "switch on a float value performs exact float equality per case; compare with stats.ApproxEqual instead")
+					}
+				}
+				return true
+			})
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+
+	"pbsim/internal/analysis"
+)
+
+// NoPanic forbids panic calls in library (non-main) packages.
+//
+// The fault-tolerant runner treats a panicking row as a retryable
+// failure: it recovers the panic, converts it to an error, and applies
+// the retry/backoff policy. A library that panics on data errors
+// bypasses that machinery — it either kills the process or gets
+// recovered far from the fault with the row's state lost. Failures
+// must flow through error returns (FallibleResponse) so the runner's
+// recovery path stays the sole recovery path. Invariant guards for
+// programmer errors (impossible states) may be waived with
+// //pbcheck:ignore nopanic <reason>.
+var NoPanic = &analysis.Analyzer{
+	Name: "nopanic",
+	Doc:  "forbid panic(...) in library packages; failures must use error returns so runner recovery/retry semantics stay in control",
+	Run:  runNoPanic,
+}
+
+func runNoPanic(pass *analysis.Pass) {
+	if pass.Pkg.Name == "main" {
+		return // binaries own their process; panicking there is their call
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true // a local function shadowing the builtin
+			}
+			pass.Reportf(call.Pos(), "panic in library code: return an error (FallibleResponse path) so the runner's panic-recovery and retry semantics stay the sole recovery path")
+			return true
+		})
+	}
+}

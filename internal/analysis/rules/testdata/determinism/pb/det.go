@@ -1,0 +1,74 @@
+// Package det seeds one violation per determinism sub-rule, plus the
+// idiomatic patterns (seeded sources, collect-then-sort) the analyzer
+// must NOT flag. The directory path carries the "pb" segment so the
+// determinism rule applies.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Elapsed measures real time.
+func Elapsed(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+// Draw uses the shared global generator.
+func Draw() float64 {
+	return rand.Float64()
+}
+
+// Seeded builds an explicit source: allowed.
+func Seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// FromEnv reads process environment.
+func FromEnv() string {
+	return os.Getenv("PB_MODE")
+}
+
+// Keys appends map keys in iteration order without sorting.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the approved collect-then-sort idiom: not flagged.
+func SortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum accumulates floats in map iteration order.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Dump prints during map iteration.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

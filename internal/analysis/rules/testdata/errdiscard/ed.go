@@ -1,0 +1,50 @@
+// Package ed seeds every discarded-error shape the errdiscard rule
+// recognizes (bare call, blank assignment, blank tuple element,
+// deferred call, go call) next to the exempted callees (fmt,
+// strings.Builder) and properly handled errors.
+package ed
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Bare drops the error of an expression-statement call: flagged.
+func Bare(path string) {
+	os.Remove(path)
+}
+
+// Blank discards via the blank identifier: flagged.
+func Blank(path string) {
+	_ = os.Remove(path)
+}
+
+// Tuple discards the error element of a multi-value call: flagged.
+func Tuple(path string) string {
+	f, _ := os.Open(path)
+	return f.Name()
+}
+
+// Deferred discards a deferred Close error: flagged.
+func Deferred(f *os.File) {
+	defer f.Close()
+}
+
+// Spawned discards the error inside a go statement: flagged.
+func Spawned(f *os.File) {
+	go f.Sync()
+}
+
+// Handled returns the error: not flagged.
+func Handled(path string) error {
+	return os.Remove(path)
+}
+
+// Exempt exercises the documented exemptions: fmt printing and
+// strings.Builder writes cannot meaningfully fail.
+func Exempt(sb *strings.Builder) {
+	fmt.Println("ok")
+	sb.WriteString("ok")
+	fmt.Fprintf(sb, "%d", 1)
+}

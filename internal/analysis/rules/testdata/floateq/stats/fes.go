@@ -1,0 +1,18 @@
+// Package stats lives under a "stats" path segment, so functions on
+// the floateq allowlist (ApproxEqual) may compare floats exactly;
+// anything else in the package is still flagged.
+package stats
+
+import "math"
+
+// ApproxEqual is the approved tolerance helper: its exact compares
+// are the one sanctioned place for ==.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= tol
+}
+
+// IsZero is not on the allowlist: flagged even inside stats.
+func IsZero(x float64) bool { return x == 0 }

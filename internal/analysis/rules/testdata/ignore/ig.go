@@ -1,0 +1,42 @@
+// Package ig exercises the //pbcheck:ignore machinery: valid
+// suppressions on the same line and the line above, plus the
+// malformed forms (missing reason, missing rule, unknown rule) that
+// are themselves diagnostics, and a comment too far away to apply.
+package ig
+
+import "os"
+
+// SameLine is suppressed by a trailing comment with a reason.
+func SameLine(path string) {
+	os.Remove(path) //pbcheck:ignore errdiscard cleanup is best-effort in this fixture
+}
+
+// LineAbove is suppressed by a standalone comment on the previous line.
+func LineAbove(path string) {
+	//pbcheck:ignore errdiscard standalone comment covers the next line
+	os.Remove(path)
+}
+
+// MissingReason omits the mandatory justification: the marker is a
+// diagnostic and the finding stays active.
+func MissingReason(path string) {
+	os.Remove(path) //pbcheck:ignore errdiscard
+}
+
+// MissingRule names no rule at all.
+func MissingRule(path string) {
+	os.Remove(path) //pbcheck:ignore
+}
+
+// UnknownRule names a rule that does not exist.
+func UnknownRule(path string) {
+	os.Remove(path) //pbcheck:ignore nosuchrule the rule name is wrong
+}
+
+// TooFar has a blank line between the comment and the call, so the
+// suppression does not reach it.
+func TooFar(path string) {
+	//pbcheck:ignore errdiscard two lines above the call is out of range
+
+	os.Remove(path)
+}

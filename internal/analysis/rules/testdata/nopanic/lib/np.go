@@ -1,0 +1,35 @@
+// Package np seeds panic calls in a library package plus the patterns
+// nopanic must leave alone (error returns, shadowed identifiers).
+package np
+
+import "fmt"
+
+// MustPositive panics on bad input: flagged.
+func MustPositive(x int) int {
+	if x < 0 {
+		panic("negative input")
+	}
+	return x
+}
+
+// Checked returns an error instead: not flagged.
+func Checked(x int) (int, error) {
+	if x < 0 {
+		return 0, fmt.Errorf("negative input %d", x)
+	}
+	return x, nil
+}
+
+// Index panics with a formatted message: flagged.
+func Index(i, n int) int {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of range %d", i, n))
+	}
+	return i
+}
+
+// Shadowed calls a local function named panic: not flagged.
+func Shadowed() {
+	panic := func(string) {}
+	panic("not the builtin")
+}

@@ -1,0 +1,9 @@
+// Command main proves nopanic skips package main: a CLI is entitled
+// to panic-on-impossible after flag parsing.
+package main
+
+func main() {
+	if len([]string{}) > 0 {
+		panic("unreachable")
+	}
+}

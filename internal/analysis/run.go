@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run executes every analyzer over every package, applies the
+// packages' //pbcheck:ignore suppressions, and returns all
+// diagnostics (suppressed ones included, marked) in deterministic
+// file/line/column order.
+//
+// Packages with type errors are rejected: findings over code that
+// does not compile are unreliable, and the repo's tier-1 gate
+// guarantees compilable input anyway.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		if a.Name == IgnoreRule {
+			return nil, fmt.Errorf("analysis: rule name %q is reserved", IgnoreRule)
+		}
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("analysis: %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		sups, supDiags := scanSuppressions(pkg, known)
+		start := len(diags)
+		diags = append(diags, supDiags...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, sink: &diags}
+			a.Run(pass)
+		}
+		applySuppressions(diags[start:], sups)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].sortKey() < diags[j].sortKey() })
+	return diags, nil
+}
+
+// Active counts the diagnostics that are not suppressed — the number
+// that should drive a non-zero exit code.
+func Active(diags []Diagnostic) int {
+	n := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			n++
+		}
+	}
+	return n
+}

@@ -129,7 +129,7 @@ func RunSuite(opts Options) (*pb.Suite, error) {
 // cancels the whole experiment (all in-flight simulations drain
 // before it returns), and the Options' Timeout/Retries/Checkpoint
 // fields configure the resilient runner.
-func RunSuiteCtx(ctx context.Context, opts Options) (*pb.Suite, error) {
+func RunSuiteCtx(ctx context.Context, opts Options) (suite *pb.Suite, err error) {
 	if opts.Instructions <= 0 {
 		opts.Instructions = DefaultInstructions
 	}
@@ -165,11 +165,18 @@ func RunSuiteCtx(ctx context.Context, opts Options) (*pb.Suite, error) {
 		opts.Recorder.SuiteStarted(Fingerprint(design, opts), len(ws), design.Runs())
 	}
 	if opts.Checkpoint != "" {
-		cp, err := runner.OpenCheckpoint(opts.Checkpoint, Fingerprint(design, opts))
-		if err != nil {
-			return nil, fmt.Errorf("experiment: %w", err)
+		cp, cpErr := runner.OpenCheckpoint(opts.Checkpoint, Fingerprint(design, opts))
+		if cpErr != nil {
+			return nil, fmt.Errorf("experiment: %w", cpErr)
 		}
-		defer cp.Close()
+		// A failed checkpoint close means recorded rows may not be
+		// durable; surface it rather than let a later resume silently
+		// re-simulate (or worse, trust a truncated file).
+		defer func() {
+			if cerr := cp.Close(); cerr != nil && err == nil {
+				suite, err = nil, fmt.Errorf("experiment: close checkpoint: %w", cerr)
+			}
+		}()
 		pbOpts.Runner.Checkpoint = cp
 	}
 	names := make([]string, len(ws))

@@ -19,7 +19,7 @@ func TestResponseDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp := Response(w, 2000, 4000, nil).Must()
+	resp, respErr := Response(w, 2000, 4000, nil).Infallible()
 	design, err := pb.New(41, false)
 	if err != nil {
 		t.Fatal(err)
@@ -32,11 +32,14 @@ func TestResponseDeterministic(t *testing.T) {
 	if y := resp(row); y < 1000 {
 		t.Errorf("cycles = %g, below the 4-wide bound", y)
 	}
+	if err := respErr(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestResponseDependsOnLevels(t *testing.T) {
 	w, _ := workload.ByName("mcf")
-	resp := Response(w, 2000, 4000, nil).Must()
+	resp, respErr := Response(w, 2000, 4000, nil).Infallible()
 	low := make([]pb.Level, 43)
 	high := make([]pb.Level, 43)
 	for i := range low {
@@ -44,6 +47,9 @@ func TestResponseDependsOnLevels(t *testing.T) {
 		high[i] = pb.High
 	}
 	yl, yh := resp(low), resp(high)
+	if err := respErr(); err != nil {
+		t.Fatal(err)
+	}
 	if yh >= yl {
 		t.Errorf("all-high (%g cycles) should beat all-low (%g)", yh, yl)
 	}
@@ -227,13 +233,19 @@ func TestResponseWithShortcut(t *testing.T) {
 		}
 		return enhance.NewPrecomputation(freq, 128)
 	}
-	base := Response(w, 2000, 5000, nil).Must()
-	enhanced := Response(w, 2000, 5000, factory).Must()
+	base, baseErr := Response(w, 2000, 5000, nil).Infallible()
+	enhanced, enhancedErr := Response(w, 2000, 5000, factory).Infallible()
 	levels := make([]pb.Level, 43)
 	for i := range levels {
 		levels[i] = pb.Low
 	}
 	yb, ye := base(levels), enhanced(levels)
+	if err := baseErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := enhancedErr(); err != nil {
+		t.Fatal(err)
+	}
 	if ye >= yb {
 		t.Errorf("precomputation did not speed up the run: %g vs %g", ye, yb)
 	}

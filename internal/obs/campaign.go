@@ -302,7 +302,7 @@ func (s Summary) Table() string {
 				sc.Scope, fmtDur(sc.Wall), sc.Rows, sc.Simulated, sc.Resumed, sc.Failed)
 		}
 	}
-	w.Flush()
+	w.Flush() //pbcheck:ignore errdiscard tabwriter flushing into an in-memory strings.Builder cannot fail
 	return b.String()
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -80,7 +81,9 @@ func (c *CLIFlags) Start(stderr io.Writer) (*Session, error) {
 	if c.DebugAddr != "" {
 		d, err := ServeDebug(c.DebugAddr, s.metrics)
 		if err != nil {
-			s.Close()
+			if cerr := s.Close(); cerr != nil {
+				err = errors.Join(err, cerr)
+			}
 			return nil, err
 		}
 		s.debug = d
@@ -96,6 +99,17 @@ func (c *CLIFlags) Start(stderr io.Writer) (*Session, error) {
 		go s.printProgress(interval)
 	}
 	return s, nil
+}
+
+// FoldClose closes c and, if the close fails while *err is still nil,
+// stores the close error there. It is the deferred-close idiom the
+// errdiscard analyzer demands: `defer obs.FoldClose(&err, sess)`
+// propagates a failed metrics flush (or checkpoint sync) instead of
+// silently discarding it, without displacing an earlier error.
+func FoldClose(err *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *err == nil {
+		*err = cerr
+	}
 }
 
 // Recorder returns the session's event fan-out, or nil when
@@ -167,7 +181,9 @@ func (s *Session) Close() error {
 			fmt.Fprint(s.stderr, summary.Table())
 		}
 		if s.debug != nil {
-			s.debug.Close()
+			if err := s.debug.Close(); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
 		}
 	})
 	return s.closeErr

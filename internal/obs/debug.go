@@ -66,7 +66,7 @@ func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
 		Addr: ln.Addr().String(),
 		srv:  &http.Server{Handler: mux},
 	}
-	go d.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	go d.srv.Serve(ln) //pbcheck:ignore errdiscard Serve returns http.ErrServerClosed on Close; nothing actionable remains
 	return d, nil
 }
 

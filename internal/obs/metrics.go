@@ -140,10 +140,11 @@ func (h *Histogram) Quantile(p float64) time.Duration {
 	target := p * float64(n)
 	var cum float64
 	for i := 0; i <= histBuckets; i++ {
-		c := float64(h.counts[i].Load())
-		if c == 0 {
+		raw := h.counts[i].Load()
+		if raw == 0 {
 			continue
 		}
+		c := float64(raw)
 		if cum+c >= target {
 			lo := time.Duration(0)
 			if i > 0 {

@@ -1,6 +1,10 @@
 package pb
 
-import "fmt"
+import (
+	"fmt"
+
+	"pbsim/internal/stats"
+)
 
 // Effects computes the raw Plackett-Burman effect of every factor
 // column from one response value per design row, exactly as in Table 4
@@ -80,7 +84,7 @@ func PercentOfVariation(d *Design, responses []float64) ([]float64, error) {
 		total += v
 	}
 	pct := make([]float64, len(ss))
-	if total == 0 {
+	if stats.ApproxEqual(total, 0, 0) {
 		return pct, nil
 	}
 	for j, v := range ss {

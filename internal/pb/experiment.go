@@ -3,6 +3,8 @@ package pb
 import (
 	"context"
 	"fmt"
+	"math"
+	"sync"
 
 	"pbsim/internal/runner"
 )
@@ -47,22 +49,41 @@ type FallibleResponse func(ctx context.Context, levels []Level) (float64, error)
 // Fallible adapts a legacy infallible response to the fallible
 // interface.
 func (r Response) Fallible() FallibleResponse {
+	//pbcheck:ignore ctxflow a legacy infallible Response cannot observe cancellation; the adapter drops ctx by design
 	return func(_ context.Context, levels []Level) (float64, error) {
 		return r(levels), nil
 	}
 }
 
-// Must adapts a fallible response for infallible-only analyses (the
-// one-at-a-time and full-factorial baselines), panicking on error. Use
-// it only at edges where an error is unrecoverable anyway.
-func (f FallibleResponse) Must() Response {
-	return func(levels []Level) float64 {
+// Infallible adapts a fallible response for infallible-only analyses
+// (the one-at-a-time and full-factorial baselines), which predate the
+// error path. A Response has no way to report failure, so the adapter
+// routes it through the error path out of band: a failed row yields
+// NaN — poisoning any statistic derived from it rather than inventing
+// a plausible value — and the first error is recorded and returned by
+// errf once the analysis finishes. Callers must check errf() before
+// trusting the results. The adapter is safe for concurrent rows.
+func (f FallibleResponse) Infallible() (resp Response, errf func() error) {
+	var mu sync.Mutex
+	var first error
+	resp = func(levels []Level) float64 {
 		v, err := f(context.Background(), levels)
 		if err != nil {
-			panic(fmt.Sprintf("pb: response failed: %v", err))
+			mu.Lock()
+			if first == nil {
+				first = err
+			}
+			mu.Unlock()
+			return math.NaN()
 		}
 		return v
 	}
+	errf = func() error {
+		mu.Lock()
+		defer mu.Unlock()
+		return first
+	}
+	return resp, errf
 }
 
 // Options configures an experiment run.
@@ -147,17 +168,14 @@ func RunWithDesignCtx(ctx context.Context, design *Design, factors []Factor, res
 // EvaluateRows computes the response of every design row using up to
 // parallelism goroutines (GOMAXPROCS when zero).
 //
-// It is the legacy infallible entry point, kept as a thin adapter over
-// the fault-tolerant runner so existing callers don't break: an
-// infallible response cannot error, so the only failure mode is a
-// panic inside it, which is re-raised exactly as before.
-func EvaluateRows(design *Design, response Response, parallelism int) []float64 {
-	out, err := EvaluateRowsCtx(context.Background(), design, response.Fallible(),
+// It is the legacy infallible entry point, kept as a thin adapter
+// over the fault-tolerant runner: an infallible response cannot
+// error, so the only failure mode is a panic inside it, which the
+// runner recovers and EvaluateRows reports as an error — the same
+// error path every other entry point uses.
+func EvaluateRows(design *Design, response Response, parallelism int) ([]float64, error) {
+	return EvaluateRowsCtx(context.Background(), design, response.Fallible(),
 		Options{Parallelism: parallelism})
-	if err != nil {
-		panic(err)
-	}
-	return out
 }
 
 // EvaluateRowsCtx evaluates every design row through the resilient

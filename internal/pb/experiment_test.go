@@ -67,7 +67,10 @@ func TestEvaluateRowsCoversEveryRowOnce(t *testing.T) {
 	}
 	for _, par := range []int{0, 1, 3, 64} {
 		atomic.StoreInt64(&calls, 0)
-		got := EvaluateRows(d, resp, par)
+		got, err := EvaluateRows(d, resp, par)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
 		if int(atomic.LoadInt64(&calls)) != d.Runs() {
 			t.Errorf("parallelism %d: %d calls, want %d", par, calls, d.Runs())
 		}

@@ -245,13 +245,13 @@ func TestLegacyAdapters(t *testing.T) {
 	if res.Ranks[0] != 1 {
 		t.Errorf("rank(A) = %d", res.Ranks[0])
 	}
-	// A panicking infallible response still panics out of the legacy
-	// entry point (not swallowed into an error the caller never sees).
-	defer func() {
-		if recover() == nil {
-			t.Error("legacy EvaluateRows swallowed the panic")
-		}
-	}()
+	// A panicking infallible response surfaces as an error from the
+	// legacy entry point: the runner recovers the panic and routes it
+	// through the same error path as every other failure.
 	d, _ := NewWithSize(4, false)
-	EvaluateRows(d, func([]Level) float64 { panic("boom") }, 1)
+	if _, err := EvaluateRows(d, func([]Level) float64 { panic("boom") }, 1); err == nil {
+		t.Error("legacy EvaluateRows swallowed the response panic")
+	} else if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("panic cause lost from error: %v", err)
+	}
 }

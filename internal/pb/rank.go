@@ -3,6 +3,8 @@ package pb
 import (
 	"math"
 	"sort"
+
+	"pbsim/internal/stats"
 )
 
 // Ranks converts effect values into significance ranks: the factor
@@ -17,7 +19,7 @@ func Ranks(effects []float64) []int {
 	}
 	sort.SliceStable(idx, func(a, b int) bool {
 		ea, eb := math.Abs(effects[idx[a]]), math.Abs(effects[idx[b]])
-		if ea != eb {
+		if !stats.ApproxEqual(ea, eb, 0) {
 			return ea > eb
 		}
 		return idx[a] < idx[b]

@@ -3,6 +3,7 @@ package runner
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -19,8 +20,8 @@ type checkpointRecord struct {
 	// smuggle responses from a different experiment into this one.
 	FP string `json:"fp,omitempty"`
 	// Scope namespaces rows, typically per benchmark.
-	Scope string `json:"scope,omitempty"`
-	Row   int    `json:"row"`
+	Scope string  `json:"scope,omitempty"`
+	Row   int     `json:"row"`
 	Value float64 `json:"value"`
 }
 
@@ -69,8 +70,11 @@ func OpenCheckpoint(path, fingerprint string) (*Checkpoint, error) {
 		c.loaded++
 	}
 	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("runner: read checkpoint: %w", err)
+		err = fmt.Errorf("runner: read checkpoint: %w", err)
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
+		return nil, err
 	}
 	return c, nil
 }

@@ -61,7 +61,7 @@ func (r *ROB) Empty() bool { return r.count == 0 }
 // must not be called on a full buffer.
 func (r *ROB) Push() *Entry {
 	if r.Full() {
-		panic("pipeline: Push on full ROB")
+		panic("pipeline: Push on full ROB") //pbcheck:ignore nopanic guards a programmer error (caller must check Full); never reachable from row data
 	}
 	idx := (r.head + r.count) % len(r.entries)
 	r.count++
@@ -82,7 +82,7 @@ func (r *ROB) Head() *Entry {
 // buffer.
 func (r *ROB) PopHead() {
 	if r.count == 0 {
-		panic("pipeline: PopHead on empty ROB")
+		panic("pipeline: PopHead on empty ROB") //pbcheck:ignore nopanic guards a programmer error (caller must check Empty); never reachable from row data
 	}
 	r.head = (r.head + 1) % len(r.entries)
 	r.count--
@@ -92,6 +92,7 @@ func (r *ROB) PopHead() {
 // until the entry is popped.
 func (r *ROB) At(i int) *Entry {
 	if i < 0 || i >= r.count {
+		//pbcheck:ignore nopanic index invariant guards a programmer error, like a slice bounds check; never reachable from row data
 		panic(fmt.Sprintf("pipeline: ROB index %d out of range [0,%d)", i, r.count))
 	}
 	return &r.entries[(r.head+i)%len(r.entries)]
@@ -134,7 +135,7 @@ func (q *LSQ) Alloc() bool {
 // Release frees one slot.
 func (q *LSQ) Release() {
 	if q.used == 0 {
-		panic("pipeline: Release on empty LSQ")
+		panic("pipeline: Release on empty LSQ") //pbcheck:ignore nopanic guards a programmer error (release without matching allocate); never reachable from row data
 	}
 	q.used--
 }

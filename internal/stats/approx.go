@@ -1,0 +1,24 @@
+package stats
+
+import "math"
+
+// ApproxEqual is the repository's approved tolerance comparator: it
+// reports whether a and b are equal within the absolute tolerance
+// tol. It exists so that no other code needs the raw == / != float
+// operators (which the floateq analyzer forbids): every float
+// comparison states its tolerance explicitly, and tol = 0 expresses
+// an intentional exact comparison rather than an accidental one.
+//
+// Edge cases are total and deterministic: two NaNs compare equal
+// (unlike ==, so a reproducibility check can assert that two runs
+// both produced NaN), a NaN never equals a number, and infinities
+// compare exactly by sign.
+func ApproxEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b // exact compare of infinities; tolerance is meaningless here
+	}
+	return math.Abs(a-b) <= tol
+}

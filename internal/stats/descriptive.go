@@ -75,8 +75,8 @@ func Median(xs []float64) float64 {
 // +Inf (the enhancement eliminated all work), except that 0/0 has no
 // defined speedup and yields NaN.
 func Speedup(baseTime, enhancedTime float64) float64 {
-	if enhancedTime == 0 {
-		if baseTime == 0 {
+	if ApproxEqual(enhancedTime, 0, 0) {
+		if ApproxEqual(baseTime, 0, 0) {
 			return math.NaN()
 		}
 		return math.Inf(1)

@@ -5,6 +5,8 @@ package tables
 import (
 	"fmt"
 	"strings"
+
+	"pbsim/internal/stats"
 )
 
 // Table accumulates rows of string cells and renders them with
@@ -47,7 +49,7 @@ func (t *Table) AddRow(cells ...interface{}) {
 // FormatFloat renders floats compactly: integers without a decimal
 // point, otherwise one decimal place.
 func FormatFloat(v float64) string {
-	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+	if stats.ApproxEqual(v, float64(int64(v)), 0) && v < 1e15 && v > -1e15 {
 		return fmt.Sprintf("%d", int64(v))
 	}
 	return fmt.Sprintf("%.1f", v)

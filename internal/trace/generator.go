@@ -181,7 +181,7 @@ func NewGenerator(p Params) (*Generator, error) {
 	if p.StrideBytes == 0 {
 		p.StrideBytes = 8
 	}
-	if p.BranchBias == 0 {
+	if p.BranchBias == 0 { //pbcheck:ignore floateq zero-value sentinel for an unset config field, exact by construction
 		p.BranchBias = 0.9
 	}
 	g := &Generator{p: p, rng: NewRNG(p.Seed)}
