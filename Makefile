@@ -1,6 +1,16 @@
 GO ?= go
 
-.PHONY: all build vet lint test race short bench check cover
+# Pinned benchmark repetition counts: -benchtime in iterations (not
+# seconds) keeps the measured work identical across machines, and
+# -count repetitions give pbbench enough samples for its confidence
+# intervals. BENCH_0.json was captured with exactly these settings;
+# regenerate it with `make bench-baseline` after intentional
+# performance changes.
+BENCHTIME ?= 2x
+BENCHCOUNT ?= 5
+BENCHFLAGS = -run='^$$' -bench=. -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) .
+
+.PHONY: all build vet lint test race short bench bench-baseline bench-check check cover
 
 all: check
 
@@ -29,8 +39,24 @@ race:
 short:
 	$(GO) test -short ./...
 
+# bench runs the pinned benchmark sweep and summarizes it into a
+# BENCH_ci.json trajectory (median + confidence interval per metric).
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	$(GO) test $(BENCHFLAGS) | tee bench.txt
+	$(GO) run ./cmd/pbbench run -input bench.txt -rev ci -out BENCH_ci.json
+
+# bench-baseline refreshes the committed baseline trajectory. Only run
+# it after an intentional, explained performance change, on the same
+# class of machine the old baseline came from (trajectories are
+# machine-relative).
+bench-baseline:
+	$(GO) test $(BENCHFLAGS) | tee bench.txt
+	$(GO) run ./cmd/pbbench run -input bench.txt -rev 0 -out BENCH_0.json
+
+# bench-check is the regression gate: fresh run vs committed baseline,
+# non-zero exit when any metric regresses beyond the threshold.
+bench-check: bench
+	$(GO) run ./cmd/pbbench check -threshold 10% BENCH_0.json BENCH_ci.json
 
 # Coverage profile plus a per-package summary; enforces floors for the
 # packages the campaign engine leans on hardest (obs, stats, runner).

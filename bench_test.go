@@ -91,7 +91,7 @@ func BenchmarkTable4Effects(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if effects[5] != -225 {
+		if !stats.ApproxEqual(effects[5], -225, 0) {
 			b.Fatalf("effect F = %g", effects[5])
 		}
 	}

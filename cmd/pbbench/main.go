@@ -1,0 +1,164 @@
+// Command pbbench is the benchmark-trajectory pipeline: it turns
+// `go test -bench` output into canonical BENCH_<rev>.json files and
+// compares two of them with the repository's minimal-benchstat rules
+// (median, order-statistic confidence interval, significance-gated
+// threshold). It is what the Makefile bench targets and the CI bench
+// job call, so a performance regression fails the build with the same
+// mechanical rigor a correctness regression does.
+//
+// Usage:
+//
+//	go test -bench=. -count=5 . | pbbench run -rev ci -out BENCH_ci.json
+//	pbbench diff  [-threshold 10%] [-json] OLD.json NEW.json
+//	pbbench check [-threshold 10%] [-json] OLD.json NEW.json
+//
+// run parses benchmark output (stdin, or -input FILE) and writes the
+// summarized trajectory. diff prints the comparison as a markdown
+// table (or the full report with -json) and always exits 0. check is
+// diff with teeth: it exits 1 when any metric regresses past the
+// threshold.
+//
+// Exit codes: 0 success, 1 regression detected, 2 usage or I/O error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pbsim/internal/obs"
+	"pbsim/internal/perfbench"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout, os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbbench: error: %v\n", err)
+	}
+	os.Exit(code)
+}
+
+// run dispatches the subcommand and returns the process exit code.
+func run(args []string, stdout io.Writer, stdin io.Reader) (int, error) {
+	if len(args) == 0 {
+		return 2, fmt.Errorf("usage: pbbench run|diff|check [flags]; see go doc ./cmd/pbbench")
+	}
+	switch args[0] {
+	case "run":
+		return runCapture(args[1:], stdout, stdin)
+	case "diff":
+		return runCompare(args[1:], stdout, false)
+	case "check":
+		return runCompare(args[1:], stdout, true)
+	default:
+		return 2, fmt.Errorf("unknown subcommand %q (want run, diff, or check)", args[0])
+	}
+}
+
+// runCapture implements `pbbench run`: bench output in, trajectory
+// JSON out.
+func runCapture(args []string, stdout io.Writer, stdin io.Reader) (int, error) {
+	fs := flag.NewFlagSet("pbbench run", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		input = fs.String("input", "-", "benchmark output to parse (- for stdin)")
+		rev   = fs.String("rev", "ci", "revision label stored in the trajectory")
+		out   = fs.String("out", "", "output path (default BENCH_<rev>.json)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag already printed its own usage message
+	}
+	if fs.NArg() != 0 {
+		return 2, fmt.Errorf("run takes no positional arguments, got %v", fs.Args())
+	}
+	set, err := parseInput(*input, stdin)
+	if err != nil {
+		return 2, err
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", *rev)
+	}
+	if err := writeTrajectory(path, perfbench.FromSet(set, *rev)); err != nil {
+		return 2, err
+	}
+	fmt.Fprintf(stdout, "pbbench: wrote %s (%d metrics)\n", path, len(set.Order))
+	return 0, nil
+}
+
+// runCompare implements diff (gate=false) and check (gate=true).
+func runCompare(args []string, stdout io.Writer, gate bool) (int, error) {
+	name := "pbbench diff"
+	if gate {
+		name = "pbbench check"
+	}
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	var (
+		threshold = fs.String("threshold", "10%", "median delta beyond which a significant move regresses")
+		jsonOut   = fs.Bool("json", false, "emit the full report as JSON instead of a table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, nil // flag already printed its own usage message
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("%s needs exactly two trajectory files (old new), got %d args", name, fs.NArg())
+	}
+	thr, err := perfbench.ParseThreshold(*threshold)
+	if err != nil {
+		return 2, err
+	}
+	oldF, err := readTrajectory(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	newF, err := readTrajectory(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	report := perfbench.Diff(oldF, newF, thr)
+	if *jsonOut {
+		if err := perfbench.EncodeReport(stdout, report); err != nil {
+			return 2, err
+		}
+	} else if err := perfbench.FormatTable(stdout, report); err != nil {
+		return 2, err
+	}
+	if regs := report.Regressions(); gate && len(regs) > 0 {
+		return 1, fmt.Errorf("%d metric(s) regressed beyond %s vs %s (first: %s %s %+.2f%%)",
+			len(regs), *threshold, report.OldRev, regs[0].Benchmark, regs[0].Unit, regs[0].Pct)
+	}
+	return 0, nil
+}
+
+// parseInput reads benchmark output from a file or stdin.
+func parseInput(path string, stdin io.Reader) (set *perfbench.Set, err error) {
+	if path == "-" {
+		return perfbench.ParseSet(stdin)
+	}
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer obs.FoldClose(&err, in)
+	return perfbench.ParseSet(in)
+}
+
+func readTrajectory(path string) (f *perfbench.File, err error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer obs.FoldClose(&err, in)
+	return perfbench.Decode(in)
+}
+
+func writeTrajectory(path string, f *perfbench.File) (err error) {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer obs.FoldClose(&err, out)
+	return perfbench.Encode(out, f)
+}

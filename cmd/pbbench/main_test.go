@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchOutput fabricates bench output with the given ns/op samples.
+func benchOutput(samples ...string) string {
+	var b strings.Builder
+	b.WriteString("goos: linux\ngoarch: amd64\npkg: pbsim\n")
+	for _, s := range samples {
+		b.WriteString("BenchmarkSim \t 2\t " + s + " ns/op\n")
+	}
+	b.WriteString("PASS\n")
+	return b.String()
+}
+
+// capture runs `pbbench run` on fabricated output and returns the
+// trajectory path.
+func capture(t *testing.T, rev string, samples ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "BENCH_"+rev+".json")
+	var out bytes.Buffer
+	code, err := run([]string{"run", "-rev", rev, "-out", path},
+		&out, strings.NewReader(benchOutput(samples...)))
+	if err != nil || code != 0 {
+		t.Fatalf("run: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), path) {
+		t.Fatalf("run output %q does not name %s", out.String(), path)
+	}
+	return path
+}
+
+func TestRunDiffCheckPipeline(t *testing.T) {
+	base := capture(t, "0", "100", "101", "99", "100", "102")
+	same := capture(t, "same", "100", "102", "99", "101", "100")
+
+	// Steady performance: diff and check both exit 0.
+	for _, sub := range []string{"diff", "check"} {
+		var out bytes.Buffer
+		code, err := run([]string{sub, "-threshold", "10%", base, same}, &out, nil)
+		if err != nil || code != 0 {
+			t.Fatalf("%s steady: code %d, err %v\n%s", sub, code, err, out.String())
+		}
+		if !strings.Contains(out.String(), "| Sim |") {
+			t.Errorf("%s output missing table:\n%s", sub, out.String())
+		}
+	}
+}
+
+func TestCheckFailsOnInjectedRegression(t *testing.T) {
+	base := capture(t, "0", "100", "101", "99", "100", "102")
+	slow := capture(t, "bad", "150", "151", "149", "150", "152")
+
+	var out bytes.Buffer
+	code, err := run([]string{"check", "-threshold", "10%", base, slow}, &out, nil)
+	if code != 1 || err == nil {
+		t.Fatalf("check vs injected +50%% regression: code %d, err %v", code, err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("check table does not mark the regression:\n%s", out.String())
+	}
+
+	// diff reports the same table but never gates.
+	out.Reset()
+	code, err = run([]string{"diff", base, slow}, &out, nil)
+	if err != nil || code != 0 {
+		t.Fatalf("diff on regression: code %d, err %v", code, err)
+	}
+}
+
+func TestCheckJSONOutput(t *testing.T) {
+	base := capture(t, "0", "100", "101", "99", "100", "102")
+	slow := capture(t, "bad", "150", "151", "149", "150", "152")
+	var out bytes.Buffer
+	code, _ := run([]string{"check", "-json", base, slow}, &out, nil)
+	if code != 1 {
+		t.Fatalf("check -json: code %d", code)
+	}
+	for _, want := range []string{`"regression": true`, `"OldRev": "0"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("JSON report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"explode"},
+		{"run", "positional"},
+		{"check", "only-one.json"},
+		{"check", "-threshold", "ten", "a.json", "b.json"},
+		{"diff", filepath.Join(t.TempDir(), "missing.json"), "also-missing.json"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if code, _ := run(args, &out, strings.NewReader("")); code != 2 {
+			t.Errorf("run(%v) = code %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunDefaultsOutputToRevName(t *testing.T) {
+	dir := t.TempDir()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out bytes.Buffer
+	code, err := run([]string{"run", "-rev", "xyz"}, &out, strings.NewReader(benchOutput("10")))
+	if err != nil || code != 0 {
+		t.Fatalf("run: code %d, err %v", code, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "BENCH_xyz.json")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,12 +7,14 @@ package experiment
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"pbsim/internal/obs"
 	"pbsim/internal/pb"
 	"pbsim/internal/runner"
 	"pbsim/internal/sim"
+	"pbsim/internal/trace"
 	"pbsim/internal/workload"
 )
 
@@ -90,15 +92,28 @@ type Options struct {
 // returned as errors carrying the benchmark name (the runner adds the
 // row), never raised as panics.
 func Response(w workload.Workload, warmup, instructions int64, shortcut ShortcutFactory) pb.FallibleResponse {
+	// All rows of one benchmark replay the identical instruction
+	// stream, so a Reset generator is indistinguishable from a fresh
+	// one; pooling lets concurrent workers recycle the visit table and
+	// RNG scratch across the design's 44-88 rows instead of
+	// reallocating them per row.
+	var gens sync.Pool
 	return func(ctx context.Context, levels []pb.Level) (float64, error) {
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 		cfg := sim.ConfigForLevels(levels)
-		gen, err := w.NewGenerator()
-		if err != nil {
-			return 0, fmt.Errorf("workload %s: %w", w.Name, err)
+		gen, _ := gens.Get().(*trace.Generator)
+		if gen == nil {
+			var err error
+			if gen, err = w.NewGenerator(); err != nil {
+				return 0, fmt.Errorf("workload %s: %w", w.Name, err)
+			}
+		} else {
+			gen.Reset()
 		}
+		defer gens.Put(gen)
+		var err error
 		var sc sim.ComputeShortcut
 		if shortcut != nil {
 			if sc, err = shortcut(w); err != nil {

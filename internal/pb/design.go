@@ -28,6 +28,7 @@ package pb
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Level is a factor setting in a design row: +1 selects the factor's
@@ -131,9 +132,51 @@ func RunSize(numFactors int) (int, error) {
 	return 0, fmt.Errorf("%w: no supported design size for %d factors", ErrTooManyFactors, numFactors)
 }
 
+// designKey identifies one memoized design geometry.
+type designKey struct {
+	x        int
+	foldover bool
+}
+
+// designMasters memoizes the flat matrix backing for each geometry.
+// PB matrices are deterministic functions of (X, foldover), and every
+// layer of the stack — RunSuite, the benchmark harness, all six CLIs —
+// rebuilds the same few geometries over and over; the master copy is
+// built once and cloned on each request so callers still own (and may
+// mutate) their matrix.
+var designMasters sync.Map // designKey -> []Level
+
 // NewWithSize constructs the design with exactly the given base run
 // count X, which must be one of the supported cyclic sizes.
 func NewWithSize(x int, foldover bool) (*Design, error) {
+	cols := x - 1
+	rows := x
+	if foldover {
+		rows = 2 * x
+	}
+	key := designKey{x: x, foldover: foldover}
+	cached, ok := designMasters.Load(key)
+	if !ok {
+		master, err := buildMatrix(x, foldover)
+		if err != nil {
+			return nil, err
+		}
+		cached, _ = designMasters.LoadOrStore(key, master)
+	}
+	master := cached.([]Level)
+	// One backing array keeps the matrix cache-friendly; cloning the
+	// master keeps the returned design independently mutable.
+	backing := make([]Level, len(master))
+	copy(backing, master)
+	matrix := make([][]Level, rows)
+	for i := range matrix {
+		matrix[i] = backing[i*cols : (i+1)*cols]
+	}
+	return &Design{X: x, Columns: cols, Foldover: foldover, Matrix: matrix}, nil
+}
+
+// buildMatrix constructs the flat row-major level array of the design.
+func buildMatrix(x int, foldover bool) ([]Level, error) {
 	gen, err := generatorRow(x)
 	if err != nil {
 		return nil, err
@@ -143,32 +186,30 @@ func NewWithSize(x int, foldover bool) (*Design, error) {
 	if foldover {
 		rows = 2 * x
 	}
-	// One backing array keeps the matrix cache-friendly.
 	backing := make([]Level, rows*cols)
-	matrix := make([][]Level, rows)
-	for i := range matrix {
-		matrix[i] = backing[i*cols : (i+1)*cols]
-	}
+	row := func(i int) []Level { return backing[i*cols : (i+1)*cols] }
 	// First row is the generator; the next X-2 rows are successive
 	// circular right shifts; row X is all -1.
-	copy(matrix[0], gen)
+	copy(row(0), gen)
 	for i := 1; i < x-1; i++ {
-		prev := matrix[i-1]
-		cur := matrix[i]
+		prev := row(i - 1)
+		cur := row(i)
 		cur[0] = prev[cols-1]
 		copy(cur[1:], prev[:cols-1])
 	}
+	last := row(x - 1)
 	for j := 0; j < cols; j++ {
-		matrix[x-1][j] = Low
+		last[j] = Low
 	}
 	if foldover {
 		for i := 0; i < x; i++ {
+			base, mirror := row(i), row(x+i)
 			for j := 0; j < cols; j++ {
-				matrix[x+i][j] = -matrix[i][j]
+				mirror[j] = -base[j]
 			}
 		}
 	}
-	return &Design{X: x, Columns: cols, Foldover: foldover, Matrix: matrix}, nil
+	return backing, nil
 }
 
 // generatorRow returns the first row of the cyclic design of base size

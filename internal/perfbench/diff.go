@@ -1,0 +1,209 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"pbsim/internal/stats"
+)
+
+// Delta compares one metric across two trajectory files.
+type Delta struct {
+	Benchmark string  `json:"name"`
+	Unit      string  `json:"unit"`
+	Old       Summary `json:"old"`
+	New       Summary `json:"new"`
+	// Pct is the signed percent change of the median, (new-old)/old.
+	Pct float64 `json:"pct"`
+	// Significant reports that both sides carry at least minSamples
+	// repetitions and their confidence intervals do not overlap — the
+	// medians genuinely moved.
+	Significant bool `json:"significant"`
+	// Regression marks a significant move past the threshold in the
+	// unit's worse direction; Improvement is its mirror image.
+	Regression  bool `json:"regression"`
+	Improvement bool `json:"improvement"`
+}
+
+// Report is the outcome of diffing two trajectory files.
+type Report struct {
+	OldRev, NewRev string
+	// ThresholdPct is the minimum |median delta| (in percent) for a
+	// significant move to count as a regression or improvement.
+	ThresholdPct float64
+	Deltas       []Delta
+	// OnlyOld and OnlyNew list metrics present in one file but not
+	// the other (renamed or deleted benchmarks); they are surfaced
+	// rather than silently dropped.
+	OnlyOld, OnlyNew []Key
+}
+
+// Diff compares two trajectories metric-by-metric, in the new file's
+// order. A move registers as a regression/improvement only when (a)
+// the median shifted past thresholdPct in that direction and (b) the
+// shift is statistically significant — or too few repetitions exist
+// to judge significance at all (count < minSamples), in which case
+// the threshold alone decides, since a gate that a single sample can
+// never trip would be no gate.
+func Diff(prev, cur *File, thresholdPct float64) *Report {
+	r := &Report{OldRev: prev.Rev, NewRev: cur.Rev, ThresholdPct: thresholdPct}
+	prevIdx, curIdx := prev.index(), cur.index()
+	for _, ns := range cur.Benchmarks {
+		k := Key{Benchmark: ns.Benchmark, Unit: ns.Unit}
+		ps, ok := prevIdx[k]
+		if !ok {
+			r.OnlyNew = append(r.OnlyNew, k)
+			continue
+		}
+		r.Deltas = append(r.Deltas, compare(ps, ns, thresholdPct))
+	}
+	for _, ps := range prev.Benchmarks {
+		k := Key{Benchmark: ps.Benchmark, Unit: ps.Unit}
+		if _, ok := curIdx[k]; !ok {
+			r.OnlyOld = append(r.OnlyOld, k)
+		}
+	}
+	return r
+}
+
+// compare scores one metric's move.
+func compare(prev, cur Summary, thresholdPct float64) Delta {
+	d := Delta{Benchmark: cur.Benchmark, Unit: cur.Unit, Old: prev, New: cur}
+	if stats.ApproxEqual(prev.Median, 0, 0) {
+		// A zero baseline (e.g. an allocs/op guard) has no meaningful
+		// percent change; any nonzero new median is an infinite
+		// regression in a cost metric, which the threshold can never
+		// excuse.
+		if !stats.ApproxEqual(cur.Median, 0, 0) {
+			d.Pct = math.Inf(sign(cur.Median, cur.Unit))
+		}
+	} else {
+		d.Pct = (cur.Median - prev.Median) / math.Abs(prev.Median) * 100
+	}
+	d.Significant = len(prev.Samples) >= minSamples && len(cur.Samples) >= minSamples &&
+		(prev.Hi < cur.Lo || cur.Hi < prev.Lo)
+	judgeable := d.Significant ||
+		len(prev.Samples) < minSamples || len(cur.Samples) < minSamples
+	if !judgeable {
+		return d
+	}
+	worse := d.Pct > 0
+	if HigherIsBetter(cur.Unit) {
+		worse = d.Pct < 0
+	}
+	if math.Abs(d.Pct) > thresholdPct {
+		d.Regression = worse
+		d.Improvement = !worse
+	}
+	return d
+}
+
+// sign returns +1 when a nonzero move from a zero baseline is worse
+// for the unit, -1 when it is better.
+func sign(newMedian float64, unit string) int {
+	worse := newMedian > 0
+	if HigherIsBetter(unit) {
+		worse = !worse
+	}
+	if worse {
+		return +1
+	}
+	return -1
+}
+
+// Regressions returns the deltas flagged as regressions.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// EncodeReport writes the full report as indented JSON for machine
+// consumers of `pbbench diff -json`.
+func EncodeReport(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return fmt.Errorf("perfbench: encode report: %w", err)
+	}
+	return nil
+}
+
+// ParseThreshold parses a regression threshold such as "10%" or "7.5"
+// into percent.
+func ParseThreshold(s string) (float64, error) {
+	t := strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(t, 64)
+	if err != nil {
+		return 0, fmt.Errorf("perfbench: bad threshold %q: %w", s, err)
+	}
+	if math.IsNaN(v) || v < 0 {
+		return 0, fmt.Errorf("perfbench: threshold %q must be a non-negative percentage", s)
+	}
+	return v, nil
+}
+
+// FormatTable renders the report as a GitHub-flavored markdown table
+// (also readable as plain text), one row per metric, followed by
+// notes for metrics present on only one side.
+func FormatTable(w io.Writer, r *Report) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| benchmark | unit | %s (median ±) | %s (median ±) | delta | verdict |\n",
+		r.OldRev, r.NewRev)
+	b.WriteString("|---|---|---|---|---|---|\n")
+	for _, d := range r.Deltas {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
+			d.Benchmark, d.Unit, formatSummary(d.Old), formatSummary(d.New),
+			formatPct(d.Pct), verdict(d))
+	}
+	for _, k := range r.OnlyOld {
+		fmt.Fprintf(&b, "\nonly in %s: %s (%s)", r.OldRev, k.Benchmark, k.Unit)
+	}
+	for _, k := range r.OnlyNew {
+		fmt.Fprintf(&b, "\nonly in %s: %s (%s)", r.NewRev, k.Benchmark, k.Unit)
+	}
+	if len(r.OnlyOld)+len(r.OnlyNew) > 0 {
+		b.WriteString("\n")
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("perfbench: write table: %w", err)
+	}
+	return nil
+}
+
+func verdict(d Delta) string {
+	switch {
+	case d.Regression:
+		return "REGRESSION"
+	case d.Improvement:
+		return "improvement"
+	case d.Significant:
+		return "shifted (within threshold)"
+	default:
+		return "~"
+	}
+}
+
+func formatSummary(s Summary) string {
+	half := (s.Hi - s.Lo) / 2
+	return fmt.Sprintf("%s ±%s", formatValue(s.Median), formatValue(half))
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', 5, 64)
+}
+
+func formatPct(p float64) string {
+	if math.IsInf(p, 0) || math.IsNaN(p) {
+		return fmt.Sprintf("%+g%%", p)
+	}
+	return fmt.Sprintf("%+.2f%%", p)
+}

@@ -1,0 +1,69 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Schema is the trajectory-file format identifier. Decode rejects
+// files carrying any other value, so a future format change cannot be
+// silently misread as today's.
+const Schema = "pbsim-bench/v1"
+
+// File is one canonical BENCH_<rev>.json trajectory point: the
+// summarized benchmark results of one revision on one machine.
+type File struct {
+	Schema string `json:"schema"`
+	// Rev labels the revision the measurements belong to ("0" for the
+	// committed baseline, "ci" for a fresh run, a git SHA, ...).
+	Rev        string            `json:"rev"`
+	Config     map[string]string `json:"config,omitempty"`
+	Benchmarks []Summary         `json:"benchmarks"`
+}
+
+// FromSet summarizes a parsed benchmark run into a trajectory file,
+// preserving first-seen benchmark order.
+func FromSet(s *Set, rev string) *File {
+	f := &File{Schema: Schema, Rev: rev, Config: s.Config}
+	for _, k := range s.Order {
+		f.Benchmarks = append(f.Benchmarks, Summarize(k, s.Samples[k]))
+	}
+	return f
+}
+
+// Encode writes the file as deterministic, human-diffable JSON.
+func Encode(w io.Writer, f *File) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("perfbench: encode trajectory: %w", err)
+	}
+	return nil
+}
+
+// Decode reads and validates a trajectory file.
+func Decode(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("perfbench: decode trajectory: %w", err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("perfbench: unsupported schema %q (want %q)", f.Schema, Schema)
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, fmt.Errorf("perfbench: trajectory %q holds no benchmarks", f.Rev)
+	}
+	return &f, nil
+}
+
+// index maps metric keys to their summaries for O(1) diff lookups.
+func (f *File) index() map[Key]Summary {
+	m := make(map[Key]Summary, len(f.Benchmarks))
+	for _, s := range f.Benchmarks {
+		m[Key{Benchmark: s.Benchmark, Unit: s.Unit}] = s
+	}
+	return m
+}

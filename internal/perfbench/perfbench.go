@@ -1,0 +1,109 @@
+// Package perfbench is a minimal, stdlib-only benchstat: it parses
+// `go test -bench` output, summarizes repeated measurements per
+// benchmark (median plus a nonparametric confidence interval), stores
+// summaries as canonical BENCH_<rev>.json trajectory files, and
+// compares two trajectories with a configurable regression threshold.
+//
+// It exists so the repository's performance claims are held to the
+// same statistical standard the reproduced paper demands of simulator
+// conclusions: a delta is only called a regression (or an
+// improvement) when the medians differ beyond the threshold and, when
+// enough repetitions exist, the confidence intervals do not overlap —
+// single noisy runs cannot fail (or green-light) a build.
+package perfbench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Key identifies one measured metric: a benchmark name (without the
+// "Benchmark" prefix and "-N" GOMAXPROCS suffix) plus a unit, e.g.
+// {"SimulatorThroughput", "ns/op"} or {"SimulatorThroughput",
+// "instrs/s"} for metrics added via b.ReportMetric.
+type Key struct {
+	Benchmark string
+	Unit      string
+}
+
+// Set holds the raw samples parsed from one `go test -bench` run.
+type Set struct {
+	// Config carries the "key: value" header lines go test prints
+	// before the benchmarks (goos, goarch, pkg, cpu).
+	Config map[string]string
+	// Order lists the metric keys in first-seen order, so downstream
+	// output is deterministic without sorting.
+	Order []Key
+	// Samples maps each metric to its measured values, one per
+	// benchmark line (i.e. one per -count repetition).
+	Samples map[Key][]float64
+}
+
+// ParseSet reads `go test -bench` output. Lines that are neither
+// header lines nor benchmark result lines (PASS, ok, test logs) are
+// ignored; malformed benchmark lines are errors, because silently
+// dropping a measurement would bias the summary.
+func ParseSet(r io.Reader) (*Set, error) {
+	s := &Set{Config: make(map[string]string), Samples: make(map[Key][]float64)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			if err := s.parseBenchLine(line); err != nil {
+				return nil, err
+			}
+		case len(s.Samples) == 0 && strings.Contains(line, ": "):
+			k, v, _ := strings.Cut(line, ": ")
+			s.Config[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("perfbench: read bench output: %w", err)
+	}
+	if len(s.Samples) == 0 {
+		return nil, fmt.Errorf("perfbench: no benchmark result lines found")
+	}
+	return s, nil
+}
+
+// parseBenchLine parses one result line:
+//
+//	BenchmarkName-4   120   9321 ns/op   456 B/op   2 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs; pairs
+// include custom b.ReportMetric metrics such as "2842599 instrs/s".
+func (s *Set) parseBenchLine(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return fmt.Errorf("perfbench: malformed benchmark line %q", line)
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+	}
+	if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return fmt.Errorf("perfbench: bad iteration count in %q: %w", line, err)
+	}
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return fmt.Errorf("perfbench: bad value in %q: %w", line, err)
+		}
+		s.add(Key{Benchmark: name, Unit: fields[i+1]}, v)
+	}
+	return nil
+}
+
+func (s *Set) add(k Key, v float64) {
+	if _, seen := s.Samples[k]; !seen {
+		s.Order = append(s.Order, k)
+	}
+	s.Samples[k] = append(s.Samples[k], v)
+}

@@ -8,6 +8,18 @@ package bpred
 
 import "fmt"
 
+// satNext is the two-bit saturating-counter transition table:
+// satNext[counter][outcome] with outcome 0 = not taken, 1 = taken.
+// Table-driven updates keep the predictor train step branch-free,
+// which matters because Update runs once per conditional branch in
+// the simulator's hottest loop.
+var satNext = [4][2]uint8{
+	{0, 1}, // strongly not-taken
+	{0, 2}, // weakly not-taken
+	{1, 3}, // weakly taken
+	{2, 3}, // strongly taken
+}
+
 // DirectionPredictor predicts conditional-branch directions.
 type DirectionPredictor interface {
 	// Predict returns the predicted direction for the branch at pc.
@@ -75,19 +87,11 @@ func (p *TwoLevel) Predict(pc uint64) bool {
 // Update implements DirectionPredictor: it trains the counter and
 // shifts the outcome into the branch's local history.
 func (p *TwoLevel) Update(pc uint64, taken bool) {
+	bit := boolBit(taken)
 	idx := p.index(pc)
-	c := p.pht[idx]
-	if taken {
-		if c < 3 {
-			p.pht[idx] = c + 1
-		}
-	} else {
-		if c > 0 {
-			p.pht[idx] = c - 1
-		}
-	}
+	p.pht[idx] = satNext[p.pht[idx]&3][bit]
 	b := (pc >> 2) & p.bhtMask
-	p.bht[b] = ((p.bht[b] << 1) | boolBit(taken)) & p.histMask
+	p.bht[b] = ((p.bht[b] << 1) | bit) & p.histMask
 }
 
 // Name implements DirectionPredictor.
@@ -120,14 +124,7 @@ func (p *Bimodal) Predict(pc uint64) bool {
 // Update implements DirectionPredictor.
 func (p *Bimodal) Update(pc uint64, taken bool) {
 	idx := (pc >> 2) & p.mask
-	c := p.pht[idx]
-	if taken {
-		if c < 3 {
-			p.pht[idx] = c + 1
-		}
-	} else if c > 0 {
-		p.pht[idx] = c - 1
-	}
+	p.pht[idx] = satNext[p.pht[idx]&3][boolBit(taken)]
 }
 
 // Name implements DirectionPredictor.

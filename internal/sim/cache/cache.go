@@ -63,6 +63,18 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
+// line is one way of a set: the block tag plus its replacement stamp.
+// meta is the LRU stamp or FIFO arrival time; 0 marks an invalid line
+// (the clock is pre-incremented on every access, so a filled line
+// always carries a stamp >= 1). Keeping tag and stamp in one 16-byte
+// struct lets a set probe walk a single contiguous array instead of
+// three parallel slices — one cache line of host memory covers a
+// 4-way set.
+type line struct {
+	tag  uint64
+	meta uint64
+}
+
 // Cache is a set-associative tag array. It tracks presence only (no
 // data), which is all a timing model needs.
 type Cache struct {
@@ -70,9 +82,7 @@ type Cache struct {
 	ways      int
 	blockBits uint
 	setMask   uint64
-	tags      []uint64 // sets*ways entries
-	valid     []bool
-	meta      []uint64 // per-way LRU stamp or FIFO arrival
+	lines     []line // sets*ways entries, set-major
 	clock     uint64
 	policy    Replacement
 	rng       uint64 // xorshift state for Random policy
@@ -113,9 +123,7 @@ func New(cfg Config) (*Cache, error) {
 		ways:      assoc,
 		blockBits: blockBits,
 		setMask:   uint64(sets - 1),
-		tags:      make([]uint64, sets*assoc),
-		valid:     make([]bool, sets*assoc),
-		meta:      make([]uint64, sets*assoc),
+		lines:     make([]line, sets*assoc),
 		policy:    cfg.Policy,
 		rng:       0x9e3779b97f4a7c15,
 	}, nil
@@ -140,18 +148,18 @@ func (c *Cache) Access(addr uint64) bool {
 	c.stats.Accesses++
 	c.clock++
 	block := addr >> c.blockBits
-	set := int(block & c.setMask)
-	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == block {
+	base := int(block&c.setMask) * c.ways
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		if ln := &set[w]; ln.meta != 0 && ln.tag == block {
 			if c.policy == LRU {
-				c.meta[base+w] = c.clock
+				ln.meta = c.clock
 			}
 			return true
 		}
 	}
 	c.stats.Misses++
-	c.fill(base, block)
+	c.fill(set, block)
 	return false
 }
 
@@ -160,24 +168,28 @@ func (c *Cache) Access(addr uint64) bool {
 func (c *Cache) Contains(addr uint64) bool {
 	block := addr >> c.blockBits
 	base := int(block&c.setMask) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == block {
+	set := c.lines[base : base+c.ways]
+	for w := range set {
+		if set[w].meta != 0 && set[w].tag == block {
 			return true
 		}
 	}
 	return false
 }
 
-// fill victimizes a way of the set and installs the block.
-func (c *Cache) fill(base int, block uint64) {
-	victim := base
+// fill victimizes a way of the set and installs the block. Invalid
+// lines carry stamp 0, so the smallest-stamp scan of the LRU/FIFO
+// policies selects the first invalid way exactly as an explicit
+// invalid-first pass would.
+func (c *Cache) fill(set []line, block uint64) {
+	victim := 0
 	switch c.policy {
 	case Random:
 		// Invalid ways first, then xorshift-random.
 		found := false
-		for w := 0; w < c.ways; w++ {
-			if !c.valid[base+w] {
-				victim, found = base+w, true
+		for w := range set {
+			if set[w].meta == 0 {
+				victim, found = w, true
 				break
 			}
 		}
@@ -185,32 +197,23 @@ func (c *Cache) fill(base int, block uint64) {
 			c.rng ^= c.rng << 13
 			c.rng ^= c.rng >> 7
 			c.rng ^= c.rng << 17
-			victim = base + int(c.rng%uint64(c.ways))
+			victim = int(c.rng % uint64(c.ways))
 		}
 	default: // LRU and FIFO both evict the smallest stamp
-		oldest := c.meta[base]
-		for w := 0; w < c.ways; w++ {
-			if !c.valid[base+w] {
-				victim = base + w
-				oldest = 0
-				break
-			}
-			if c.meta[base+w] < oldest {
-				victim = base + w
-				oldest = c.meta[base+w]
+		oldest := set[0].meta
+		for w := 1; w < len(set); w++ {
+			if set[w].meta < oldest {
+				victim, oldest = w, set[w].meta
 			}
 		}
 	}
-	c.tags[victim] = block
-	c.valid[victim] = true
-	c.meta[victim] = c.clock // LRU: last use; FIFO: arrival time
+	set[victim] = line{tag: block, meta: c.clock} // LRU: last use; FIFO: arrival time
 }
 
 // Flush invalidates every line and clears statistics.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.meta[i] = 0
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 	c.clock = 0
 	c.stats = Stats{}

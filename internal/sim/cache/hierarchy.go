@@ -87,38 +87,64 @@ func (h *Hierarchy) dramLatency(t int64) int64 {
 	return t + transfer
 }
 
-// PrewarmData touches every 16-byte chunk of [start, start+size) in
-// the data-side hierarchy (DTLB, L1D, L2) without charging any time,
-// emulating the functional-warming phase of a long simulation: the
-// measured phase then observes steady-state rather than compulsory
-// misses. Statistics are not affected. Where a structure is smaller
-// than the range, the tail of the range stays resident (LRU order), as
-// after a sequential lap of the working set.
+// PrewarmData walks [start, start+size) through the data-side
+// hierarchy (DTLB, L1D, L2) without charging any time, emulating the
+// functional-warming phase of a long simulation: the measured phase
+// then observes steady-state rather than compulsory misses.
+// Statistics are not affected. Where a structure is smaller than the
+// range, the tail of the range stays resident (LRU order), as after a
+// sequential lap of the working set.
 func (h *Hierarchy) PrewarmData(start, size uint64) {
-	dram := h.DRAMAccesses
-	l1d, l2, dtlb := h.L1D.stats, h.L2.stats, h.DTLB.cache.stats
-	for addr := start; addr < start+size; addr += 16 {
-		if !h.L1D.Access(addr) {
-			h.L2.Access(addr)
-		}
-		h.DTLB.Access(addr)
-	}
-	h.DRAMAccesses = dram
-	h.L1D.stats, h.L2.stats, h.DTLB.cache.stats = l1d, l2, dtlb
+	h.prewarm(h.L1D, h.DTLB, start, size)
 }
 
 // PrewarmCode is PrewarmData for the instruction side (ITLB, L1I, L2).
 func (h *Hierarchy) PrewarmCode(start, size uint64) {
+	h.prewarm(h.L1I, h.ITLB, start, size)
+}
+
+// prewarm performs the sequential warming lap. The walk advances one
+// L1 block (and, for the TLB, one page) at a time instead of probing
+// every 16-byte chunk: within a sequential lap, intra-block repeat
+// accesses always hit the line just filled and only refresh its own
+// recency stamp, so skipping them leaves the final tag contents,
+// relative recency order, and every later replacement decision
+// bit-identical to the fine-grained walk at a small fraction of the
+// probes. (The stride never exceeds a block, so no block in the range
+// is skipped regardless of alignment; the sub-16-byte guard keeps the
+// historical 16-byte floor for degenerate block sizes.)
+func (h *Hierarchy) prewarm(l1 *Cache, tlb *TLB, start, size uint64) {
 	dram := h.DRAMAccesses
-	l1i, l2, itlb := h.L1I.stats, h.L2.stats, h.ITLB.cache.stats
-	for addr := start; addr < start+size; addr += 16 {
-		if !h.L1I.Access(addr) {
+	l1s, l2s, tlbs := l1.stats, h.L2.stats, tlb.cache.stats
+	end := start + size
+	step := uint64(l1.BlockBytes())
+	if step < 16 {
+		step = 16
+	}
+	for addr := start; addr < end; {
+		if !l1.Access(addr) {
 			h.L2.Access(addr)
 		}
-		h.ITLB.Access(addr)
+		next := (addr/step + 1) * step
+		if next <= addr {
+			break // address-space wraparound
+		}
+		addr = next
+	}
+	pstep := tlb.PageBytes()
+	if pstep < 16 {
+		pstep = 16
+	}
+	for addr := start; addr < end; {
+		tlb.Access(addr)
+		next := (addr/pstep + 1) * pstep
+		if next <= addr {
+			break // address-space wraparound
+		}
+		addr = next
 	}
 	h.DRAMAccesses = dram
-	h.L1I.stats, h.L2.stats, h.ITLB.cache.stats = l1i, l2, itlb
+	l1.stats, h.L2.stats, tlb.cache.stats = l1s, l2s, tlbs
 }
 
 // InstFetch performs the timing of an instruction-block fetch

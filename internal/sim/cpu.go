@@ -65,7 +65,10 @@ type CPU struct {
 	committed int64
 	cycle     int64
 
-	pending    *trace.Instr
+	// pending buffers the next instruction by value: a pointer here
+	// would force gen.Next's result to escape and cost one heap
+	// allocation per fetched instruction.
+	pending    trace.Instr
 	pendingSet bool
 
 	// stopAt caps retirement so runs end on exact instruction counts.
@@ -303,11 +306,10 @@ func (c *CPU) snapshot() Stats {
 // it; consume advances past it.
 func (c *CPU) nextInstr() trace.Instr {
 	if !c.pendingSet {
-		in := c.gen.Next()
-		c.pending = &in
+		c.pending = c.gen.Next()
 		c.pendingSet = true
 	}
-	return *c.pending
+	return c.pending
 }
 
 func (c *CPU) consumeInstr() {
@@ -354,7 +356,11 @@ func (c *CPU) fetchStage() {
 		if in.Class.IsControl() {
 			f.mispredict = c.predictControl(in)
 		}
-		c.ifq[(c.ifqHead+c.ifqLen)%len(c.ifq)] = f
+		slot := c.ifqHead + c.ifqLen // < 2*len, so one conditional wrap suffices
+		if slot >= len(c.ifq) {
+			slot -= len(c.ifq)
+		}
+		c.ifq[slot] = f
 		c.ifqLen++
 		fetchedN++
 		if f.mispredict {
@@ -452,7 +458,10 @@ func (c *CPU) dispatchStage() {
 			c.readyRing[f.seq&c.ringMask] = e.ReadyAt
 			c.stats.PrecompHits++
 		}
-		c.ifqHead = (c.ifqHead + 1) % len(c.ifq)
+		c.ifqHead++
+		if c.ifqHead == len(c.ifq) {
+			c.ifqHead = 0
+		}
 		c.ifqLen--
 	}
 }
@@ -477,72 +486,81 @@ func (c *CPU) depsReady(e *pipeline.Entry) bool {
 func (c *CPU) issueStage() {
 	issued := 0
 	portsUsed := 0
-	for i := 0; i < c.rob.Len() && issued < c.cfg.Width; i++ {
-		e := c.rob.At(i)
-		if e.Issued || !c.depsReady(e) {
-			continue
+	// Walk the ROB as its two contiguous windows (oldest first) rather
+	// than via At(i): the windows are stable for the whole scan, so the
+	// per-entry wrap arithmetic disappears from the hottest loop.
+	older, younger := c.rob.Window()
+	for _, win := range [2][]pipeline.Entry{older, younger} {
+		for i := range win {
+			e := &win[i]
+			if e.Issued || !c.depsReady(e) {
+				continue
+			}
+			var ready int64
+			switch e.Instr.Class {
+			case trace.IntALU, trace.Branch, trace.Call, trace.Return:
+				if !c.intALU.TryIssue(c.cycle, 1) {
+					continue
+				}
+				ready = c.cycle + int64(c.cfg.IntALULat)
+			case trace.IntMult:
+				if !c.intMD.TryIssue(c.cycle, 1) {
+					continue
+				}
+				ready = c.cycle + int64(c.cfg.IntMultLat)
+			case trace.IntDiv:
+				if !c.intMD.TryIssue(c.cycle, int64(c.cfg.IntDivLat)) {
+					continue
+				}
+				ready = c.cycle + int64(c.cfg.IntDivLat)
+			case trace.FPAdd:
+				if !c.fpALU.TryIssue(c.cycle, 1) {
+					continue
+				}
+				ready = c.cycle + int64(c.cfg.FPALULat)
+			case trace.FPMult:
+				if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPMultLat)) {
+					continue
+				}
+				ready = c.cycle + int64(c.cfg.FPMultLat)
+			case trace.FPDiv:
+				if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPDivLat)) {
+					continue
+				}
+				ready = c.cycle + int64(c.cfg.FPDivLat)
+			case trace.FPSqrt:
+				if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPSqrtLat)) {
+					continue
+				}
+				ready = c.cycle + int64(c.cfg.FPSqrtLat)
+			case trace.Load:
+				if portsUsed >= c.cfg.MemPorts {
+					continue
+				}
+				portsUsed++
+				ready = c.cycle + c.hier.DataAccess(e.Instr.Addr, c.cycle)
+			case trace.Store:
+				if portsUsed >= c.cfg.MemPorts {
+					continue
+				}
+				portsUsed++
+				// Address generation and store-buffer write; the cache is
+				// updated at commit.
+				ready = c.cycle + int64(c.cfg.L1DLat)
+			default:
+				ready = c.cycle + 1
+			}
+			e.Issued = true
+			e.ReadyAt = ready
+			c.readyRing[e.Seq&c.ringMask] = ready
+			if e.Mispredict && e.Seq == c.haltSeq {
+				c.resumeAt = ready + int64(c.cfg.MispredictPenalty)
+			}
+			issued++
+			if issued == c.cfg.Width {
+				return
+			}
 		}
-		var ready int64
-		switch e.Instr.Class {
-		case trace.IntALU, trace.Branch, trace.Call, trace.Return:
-			if !c.intALU.TryIssue(c.cycle, 1) {
-				continue
-			}
-			ready = c.cycle + int64(c.cfg.IntALULat)
-		case trace.IntMult:
-			if !c.intMD.TryIssue(c.cycle, 1) {
-				continue
-			}
-			ready = c.cycle + int64(c.cfg.IntMultLat)
-		case trace.IntDiv:
-			if !c.intMD.TryIssue(c.cycle, int64(c.cfg.IntDivLat)) {
-				continue
-			}
-			ready = c.cycle + int64(c.cfg.IntDivLat)
-		case trace.FPAdd:
-			if !c.fpALU.TryIssue(c.cycle, 1) {
-				continue
-			}
-			ready = c.cycle + int64(c.cfg.FPALULat)
-		case trace.FPMult:
-			if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPMultLat)) {
-				continue
-			}
-			ready = c.cycle + int64(c.cfg.FPMultLat)
-		case trace.FPDiv:
-			if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPDivLat)) {
-				continue
-			}
-			ready = c.cycle + int64(c.cfg.FPDivLat)
-		case trace.FPSqrt:
-			if !c.fpMD.TryIssue(c.cycle, int64(c.cfg.FPSqrtLat)) {
-				continue
-			}
-			ready = c.cycle + int64(c.cfg.FPSqrtLat)
-		case trace.Load:
-			if portsUsed >= c.cfg.MemPorts {
-				continue
-			}
-			portsUsed++
-			ready = c.cycle + c.hier.DataAccess(e.Instr.Addr, c.cycle)
-		case trace.Store:
-			if portsUsed >= c.cfg.MemPorts {
-				continue
-			}
-			portsUsed++
-			// Address generation and store-buffer write; the cache is
-			// updated at commit.
-			ready = c.cycle + int64(c.cfg.L1DLat)
-		default:
-			ready = c.cycle + 1
-		}
-		e.Issued = true
-		e.ReadyAt = ready
-		c.readyRing[e.Seq&c.ringMask] = ready
-		if e.Mispredict && e.Seq == c.haltSeq {
-			c.resumeAt = ready + int64(c.cfg.MispredictPenalty)
-		}
-		issued++
 	}
 }
 

@@ -1,6 +1,9 @@
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Params statistically describes a synthetic workload. Every field is
 // a program property, not a machine property: the same stream is
@@ -147,15 +150,34 @@ const patternDeviation = 0.01
 // maxCallDepth bounds the simulated call stack.
 const maxCallDepth = 64
 
-// Generator produces the instruction stream. It is not safe for
-// concurrent use; create one generator per simulation run.
-type Generator struct {
-	p      Params
-	rng    *RNG
-	zipf   *Zipf
+// program is the immutable static structure compiled from one Params
+// value: the basic-block graph, the body-class sampling CDF and the
+// Zipf frequency table. A program is shared by every Generator built
+// from the same parameters — a PB suite replays the identical workload
+// once per design row, so the static structure (which costs tens of
+// thousands of RNG draws to build) is compiled once per workload
+// instead of once per run.
+type program struct {
+	p      Params // validated and normalized
 	blocks []block
 	// class sampling: cumulative weights over the body classes.
 	classCDF [9]float64
+	zipfCDF  []float64
+}
+
+// programs memoizes compiled static structures by their raw Params
+// value (Params is comparable: scalars and one array). Entries are
+// immutable once stored and the cache holds one entry per distinct
+// workload parameterization, so it stays bounded by the suite size.
+var programs sync.Map // Params -> *program
+
+// Generator produces the instruction stream. It is not safe for
+// concurrent use; create one generator per simulation run (or Reset
+// one between runs).
+type Generator struct {
+	prog *program
+	rng  *RNG
+	zipf *Zipf
 
 	cur       int // current block
 	pos       int // next body position within the block
@@ -166,12 +188,31 @@ type Generator struct {
 	seqAddr uint64
 }
 
-// NewGenerator builds the static code structure from the parameters
-// and returns a generator positioned at the first instruction.
+// zipfSeedMix decorrelates the redundancy-identity stream from the
+// main sampling stream.
+const zipfSeedMix = 0xa5a5_5a5a_1234_5678
+
+// NewGenerator builds (or reuses) the static code structure for the
+// parameters and returns a generator positioned at the first
+// instruction.
 func NewGenerator(p Params) (*Generator, error) {
+	prog, err := compile(p)
+	if err != nil {
+		return nil, err
+	}
+	return prog.newGenerator(), nil
+}
+
+// compile returns the memoized program for p, building and caching it
+// on first use.
+func compile(p Params) (*program, error) {
+	if cached, ok := programs.Load(p); ok {
+		return cached.(*program), nil
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	key := p
 	if p.PatternPeriod > 64 {
 		p.PatternPeriod = 64
 	}
@@ -184,13 +225,12 @@ func NewGenerator(p Params) (*Generator, error) {
 	if p.BranchBias == 0 { //pbcheck:ignore floateq zero-value sentinel for an unset config field, exact by construction
 		p.BranchBias = 0.9
 	}
-	g := &Generator{p: p, rng: NewRNG(p.Seed)}
-	g.zipf = NewZipf(NewRNG(p.Seed^0xa5a5_5a5a_1234_5678), p.NumCompIDs, p.ZipfExponent)
+	prog := &program{p: p, zipfCDF: zipfCDF(p.NumCompIDs, p.ZipfExponent)}
 
 	// Static structure comes from its own RNG so that runtime
 	// sampling does not perturb it.
 	srng := NewRNG(p.Seed ^ 0x5bd1_e995_0bad_cafe)
-	g.blocks = make([]block, p.NumBlocks)
+	prog.blocks = make([]block, p.NumBlocks)
 	// Hot function set: call sites target a bounded set of function
 	// entry blocks, skewed toward the hottest few, the way real call
 	// graphs concentrate on a handful of hot callees. The set grows
@@ -205,8 +245,8 @@ func NewGenerator(p Params) (*Generator, error) {
 		funcEntries[i] = srng.Intn(p.NumBlocks)
 	}
 	pc := CodeBase
-	for i := range g.blocks {
-		b := &g.blocks[i]
+	for i := range prog.blocks {
+		b := &prog.blocks[i]
 		b.startPC = pc
 		// Block lengths vary around the mean but keep at least one
 		// body instruction.
@@ -290,23 +330,51 @@ func NewGenerator(p Params) (*Generator, error) {
 			}
 		}
 	}
-	g.visits = make([]uint32, p.NumBlocks)
-
 	// Cumulative mix over body classes IntALU..Store.
 	sum := 0.0
 	for c := IntALU; c <= Store; c++ {
 		sum += p.Mix[c]
-		g.classCDF[c] = sum
+		prog.classCDF[c] = sum
 	}
 	for c := IntALU; c <= Store; c++ {
-		g.classCDF[c] /= sum
+		prog.classCDF[c] /= sum
 	}
+	// Two goroutines compiling the same Params race benignly: both
+	// build identical programs and the first store wins.
+	actual, _ := programs.LoadOrStore(key, prog)
+	return actual.(*program), nil
+}
+
+// newGenerator positions a fresh dynamic state at the program's first
+// instruction.
+func (pr *program) newGenerator() *Generator {
+	return &Generator{
+		prog:    pr,
+		rng:     NewRNG(pr.p.Seed),
+		zipf:    &Zipf{cdf: pr.zipfCDF, rng: NewRNG(pr.p.Seed ^ zipfSeedMix)},
+		visits:  make([]uint32, len(pr.blocks)),
+		seqAddr: DataBase,
+	}
+}
+
+// Reset rewinds the generator to the first instruction of a fresh
+// stream: the subsequent sequence of instructions is bit-identical to
+// that of a newly constructed generator with the same parameters. It
+// lets a worker reuse one generator's allocations across many
+// simulation runs.
+func (g *Generator) Reset() {
+	g.rng.state = g.prog.p.Seed
+	g.zipf.rng.state = g.prog.p.Seed ^ zipfSeedMix
+	g.cur, g.pos, g.seq = 0, 0, 0
+	for i := range g.visits {
+		g.visits[i] = 0
+	}
+	g.callStack = g.callStack[:0]
 	g.seqAddr = DataBase
-	return g, nil
 }
 
 // Params returns the generator's (validated, normalized) parameters.
-func (g *Generator) Params() Params { return g.p }
+func (g *Generator) Params() Params { return g.prog.p }
 
 // Emitted returns the number of instructions generated so far.
 func (g *Generator) Emitted() int64 { return g.seq }
@@ -314,7 +382,7 @@ func (g *Generator) Emitted() int64 { return g.seq }
 // Next produces the next dynamic instruction. The stream is infinite;
 // the caller decides how many instructions to simulate.
 func (g *Generator) Next() Instr {
-	b := &g.blocks[g.cur]
+	b := &g.prog.blocks[g.cur]
 	var in Instr
 	if g.pos < b.bodyLen {
 		in = g.bodyInstr(b)
@@ -332,7 +400,7 @@ func (g *Generator) bodyInstr(b *block) Instr {
 	in := Instr{PC: b.startPC + uint64(g.pos)*4}
 	u := g.rng.Float64()
 	c := IntALU
-	for c < Store && u > g.classCDF[c] {
+	for c < Store && u > g.prog.classCDF[c] {
 		c++
 	}
 	in.Class = c
@@ -343,7 +411,7 @@ func (g *Generator) bodyInstr(b *block) Instr {
 	if c.IsMem() {
 		in.Addr = g.memAddress()
 	}
-	if c.IsCompute() && g.rng.Float64() < g.p.RedundantFrac {
+	if c.IsCompute() && g.rng.Float64() < g.prog.p.RedundantFrac {
 		in.CompID = uint32(g.zipf.Next())
 	}
 	return in
@@ -354,19 +422,20 @@ func (g *Generator) bodyInstr(b *block) Instr {
 func (g *Generator) controlInstr(b *block) Instr {
 	in := Instr{PC: b.startPC + uint64(b.bodyLen)*4}
 	in.Dep1 = g.depDistance()
+	blocks := g.prog.blocks
 	next := g.cur + 1
-	if next >= len(g.blocks) {
+	if next >= len(blocks) {
 		next = 0
 	}
 	switch {
 	case b.term == termCall && len(g.callStack) < maxCallDepth:
 		in.Class = Call
 		in.Taken = true
-		in.Target = g.blocks[b.target].startPC
+		in.Target = blocks[b.target].startPC
 		// Addr carries the return address (the call's fall-through
 		// block) so the simulator's return-address stack can push the
 		// exact value the matching Return will jump to.
-		in.Addr = g.blocks[next].startPC
+		in.Addr = blocks[next].startPC
 		g.callStack = append(g.callStack, next)
 		next = b.target
 	case b.term == termReturn && len(g.callStack) > 0:
@@ -374,7 +443,7 @@ func (g *Generator) controlInstr(b *block) Instr {
 		in.Taken = true
 		retTo := g.callStack[len(g.callStack)-1]
 		g.callStack = g.callStack[:len(g.callStack)-1]
-		in.Target = g.blocks[retTo].startPC
+		in.Target = blocks[retTo].startPC
 		next = retTo
 	default:
 		in.Class = Branch
@@ -383,7 +452,7 @@ func (g *Generator) controlInstr(b *block) Instr {
 			// Data-dependent branch: dominant direction with
 			// per-instance noise no predictor can learn.
 			taken = b.dominant
-			if g.rng.Float64() >= g.p.BranchBias {
+			if g.rng.Float64() >= g.prog.p.BranchBias {
 				taken = !taken
 			}
 		} else {
@@ -401,7 +470,7 @@ func (g *Generator) controlInstr(b *block) Instr {
 		}
 		in.Taken = taken
 		if taken {
-			in.Target = g.blocks[b.target].startPC
+			in.Target = blocks[b.target].startPC
 			next = b.target
 		}
 	}
@@ -412,7 +481,7 @@ func (g *Generator) controlInstr(b *block) Instr {
 // depDistance samples a register-dependency back-distance, clamped to
 // the instructions actually emitted.
 func (g *Generator) depDistance() int32 {
-	d := int64(g.rng.Geometric(g.p.MeanDepDist))
+	d := int64(g.rng.Geometric(g.prog.p.MeanDepDist))
 	if d > 64 {
 		d = 64
 	}
@@ -428,14 +497,15 @@ const hotRegionBytes = 64 << 10
 // memAddress samples an effective address according to the locality
 // model.
 func (g *Generator) memAddress() uint64 {
+	p := &g.prog.p
 	var addr uint64
 	u := g.rng.Float64()
 	switch {
-	case u < g.p.TemporalFrac:
+	case u < p.TemporalFrac:
 		// Hot region with a heavy skew toward the base: u^8 puts
 		// about 70% of these accesses in the first 4 KB of a 64 KB
 		// region, so small caches capture most but not all of them.
-		hot := g.p.WorkingSetBytes
+		hot := p.WorkingSetBytes
 		if hot > hotRegionBytes {
 			hot = hotRegionBytes
 		}
@@ -444,14 +514,14 @@ func (g *Generator) memAddress() uint64 {
 		v = v * v // v^4
 		v = v * v // v^8
 		addr = DataBase + uint64(v*float64(hot))&^7
-	case u < g.p.TemporalFrac+g.p.SeqFrac:
-		g.seqAddr += g.p.StrideBytes
-		if g.seqAddr >= DataBase+g.p.WorkingSetBytes {
+	case u < p.TemporalFrac+p.SeqFrac:
+		g.seqAddr += p.StrideBytes
+		if g.seqAddr >= DataBase+p.WorkingSetBytes {
 			g.seqAddr = DataBase
 		}
 		addr = g.seqAddr
 	default:
-		addr = DataBase + (g.rng.Uint64()%g.p.WorkingSetBytes)&^7
+		addr = DataBase + (g.rng.Uint64()%p.WorkingSetBytes)&^7
 	}
 	return addr
 }

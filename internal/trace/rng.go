@@ -66,6 +66,13 @@ type Zipf struct {
 
 // NewZipf builds a Zipf sampler over n ranks with exponent s.
 func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	return &Zipf{cdf: zipfCDF(n, s), rng: rng}
+}
+
+// zipfCDF precomputes the cumulative rank-probability table shared by
+// every sampler with the same (n, s); the table is immutable, so
+// program memoization can hand one copy to all generators.
+func zipfCDF(n int, s float64) []float64 {
 	if n < 1 {
 		n = 1
 	}
@@ -78,7 +85,7 @@ func NewZipf(rng *RNG, n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{cdf: cdf, rng: rng}
+	return cdf
 }
 
 // Next returns a rank in [1, n]; rank 1 is the most frequent.

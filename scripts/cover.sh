@@ -14,6 +14,7 @@ declare -A floors=(
 	["pbsim/internal/obs"]=80
 	["pbsim/internal/stats"]=95
 	["pbsim/internal/runner"]=75
+	["pbsim/internal/perfbench"]=80
 )
 
 go test -covermode=atomic -coverprofile="$profile" ./... | tee /tmp/cover-packages.txt
