@@ -10,7 +10,7 @@ BENCHTIME ?= 2x
 BENCHCOUNT ?= 5
 BENCHFLAGS = -run='^$$' -bench=. -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) .
 
-.PHONY: all build vet lint test race short bench bench-baseline bench-check check cover
+.PHONY: all build vet lint lint-new lint-baseline test race short bench bench-baseline bench-check check cover
 
 all: check
 
@@ -22,10 +22,24 @@ vet:
 
 # pbcheck is the repository's own stdlib-only static-analysis suite
 # (see internal/analysis): determinism, nopanic, floateq, errdiscard,
-# ctxflow. Exit 1 means an unsuppressed finding; waivers need a
-# reasoned //pbcheck:ignore.
+# ctxflow, hotalloc, locksafe, leakygo — interprocedural via a
+# module-wide call-graph fact fixpoint. Exit 1 means an unsuppressed
+# finding; waivers need a reasoned //pbcheck:ignore.
 lint:
 	$(GO) run ./cmd/pbcheck ./...
+
+# lint-new is the findings ratchet: it fails only on findings whose
+# position-independent fingerprint (rule + package + function +
+# message) is absent from the committed baseline, so new debt is
+# blocked while recorded debt stays visible without breaking builds.
+lint-new:
+	$(GO) run ./cmd/pbcheck -baseline pbcheck-baseline.json ./...
+
+# lint-baseline refreshes the committed baseline. Only run it after
+# deliberately accepting a finding as recorded debt — the reviewed
+# diff of pbcheck-baseline.json IS the acceptance.
+lint-baseline:
+	$(GO) run ./cmd/pbcheck -write-baseline pbcheck-baseline.json ./...
 
 test:
 	$(GO) test ./...
@@ -63,4 +77,4 @@ bench-check: bench
 cover:
 	bash scripts/cover.sh coverage.out
 
-check: build vet lint race
+check: build vet lint lint-new race

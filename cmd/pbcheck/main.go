@@ -1,8 +1,11 @@
-// Command pbcheck runs the project's static-analysis suite: five
+// Command pbcheck runs the project's static-analysis suite: eight
 // analyzers enforcing the reproducibility invariants the PB
 // methodology depends on (determinism, nopanic, floateq, errdiscard,
-// ctxflow), built purely on the standard library's go/parser +
-// go/types.
+// ctxflow, hotalloc, locksafe, leakygo), built purely on the standard
+// library's go/parser + go/types. Analysis is interprocedural: a
+// module-wide call graph propagates nondeterminism/panic/allocation
+// facts to fixpoint before any rule runs, so a sink laundered through
+// helper calls and package boundaries is still found.
 //
 // Usage:
 //
@@ -13,7 +16,10 @@
 //
 // Exit codes: 0 clean, 1 findings, 2 load/usage error — suitable for
 // CI gates. Findings are waived per line with
-// //pbcheck:ignore <rule> <reason>; the reason is mandatory.
+// //pbcheck:ignore <rule> <reason>; the reason is mandatory. With
+// -baseline, findings whose position-independent fingerprint appears
+// in the baseline file are reported but do not affect the exit code:
+// the ratchet fails only on NEW findings.
 package main
 
 import (
@@ -34,11 +40,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	var (
 		jsonOut    = fs.Bool("json", false, "emit the full diagnostic report (suppressed findings included) as JSON")
+		mdOut      = fs.Bool("md", false, "emit a markdown findings/waiver summary (for CI step summaries)")
 		list       = fs.Bool("list", false, "list the analyzers and the invariant each enforces, then exit")
 		ruleList   = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 		tests      = fs.Bool("tests", false, "also analyze _test.go files of each package")
 		suppressed = fs.Bool("suppressed", false, "show suppressed findings (with their reasons) in plain output")
 		dir        = fs.String("C", ".", "directory whose enclosing module to analyze")
+		baseline   = fs.String("baseline", "", "baseline file: findings fingerprinted there are reported but do not fail the run")
+		writeBase  = fs.String("write-baseline", "", "write the current unsuppressed findings to this baseline file and exit 0")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -72,18 +81,41 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "pbcheck: %v\n", err)
 		return 2
 	}
-	diags, err := analysis.Run(pkgs, selected)
+	// The loader's universe includes every module dependency pulled in
+	// while type-checking the selected packages; the fact engine needs
+	// those bodies even though they are not analyzed for reporting.
+	diags, err := analysis.RunUniverse(pkgs, loader.Universe(), selected)
 	if err != nil {
 		fmt.Fprintf(stderr, "pbcheck: %v\n", err)
 		return 2
 	}
 
-	if *jsonOut {
+	if *writeBase != "" {
+		if err := analysis.WriteBaseline(*writeBase, diags); err != nil {
+			fmt.Fprintf(stderr, "pbcheck: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "pbcheck: wrote baseline %s\n", *writeBase)
+		return 0
+	}
+	if *baseline != "" {
+		set, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintf(stderr, "pbcheck: %v\n", err)
+			return 2
+		}
+		analysis.ApplyBaseline(diags, set)
+	}
+
+	switch {
+	case *jsonOut:
 		if err := analysis.WriteJSON(stdout, loader.Root, diags); err != nil {
 			fmt.Fprintf(stderr, "pbcheck: %v\n", err)
 			return 2
 		}
-	} else {
+	case *mdOut:
+		analysis.WriteMarkdown(stdout, loader.Root, diags)
+	default:
 		analysis.WritePlain(stdout, loader.Root, diags, *suppressed)
 	}
 	if analysis.Active(diags) > 0 {

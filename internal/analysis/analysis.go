@@ -41,11 +41,17 @@ type Analyzer struct {
 }
 
 // A Pass is one analyzer's view of one loaded, type-checked package.
-// It provides the syntax trees, the type information, and the sink
-// for diagnostics.
+// It provides the syntax trees, the type information, the
+// interprocedural fact index (phase 1's output, see facts.go), and
+// the sink for diagnostics.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+
+	// Facts is the module-wide interprocedural index: per-function
+	// nondeterminism/panic/allocation facts propagated to fixpoint
+	// over the call graph of every loaded package. Never nil.
+	Facts *FactIndex
 
 	sink *[]Diagnostic
 }
@@ -65,26 +71,44 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 func (p *Pass) Path() string { return p.Pkg.Path }
 
 // Reportf records a diagnostic at pos under the pass's rule name.
+// Package and enclosing function are resolved here so every finding
+// carries the position-independent identity the baseline ratchet
+// fingerprints on.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	*p.sink = append(*p.sink, Diagnostic{
 		Rule:     p.Analyzer.Name,
 		Position: p.Pkg.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
+		Package:  p.Pkg.Path,
+		Func:     p.Pkg.EnclosingFunc(pos),
 	})
 }
 
 // A Diagnostic is one finding: a rule name, an exact source position,
 // and a message. Suppressed findings are retained (they appear in the
-// JSON report and under -suppressed) but do not affect the exit code.
+// JSON report and under -suppressed) but do not affect the exit code;
+// the same holds for baselined findings (known debt recorded in the
+// committed baseline — see baseline.go).
 type Diagnostic struct {
 	Rule     string
 	Position token.Position
 	Message  string
 
+	// Package and Func identify where the finding lives independently
+	// of line numbers: the import path and the enclosing function
+	// declaration ("Type.Method" for methods, "" at file scope). They
+	// form the ratchet fingerprint together with Rule and Message.
+	Package string
+	Func    string
+
 	// Suppressed marks a finding waived by a //pbcheck:ignore
 	// comment; Reason carries the comment's mandatory justification.
 	Suppressed bool
 	Reason     string
+
+	// Baselined marks a finding whose fingerprint appears in the
+	// baseline file: pre-existing debt that does not fail the ratchet.
+	Baselined bool
 }
 
 // sortKey orders diagnostics by file, then line, then column, then

@@ -1,0 +1,120 @@
+package analysis
+
+// baseline.go is the findings ratchet. A committed baseline file
+// records the fingerprints of known findings; pbcheck -baseline fails
+// only on findings whose fingerprint is NOT in the file, so new debt
+// is blocked while pre-existing debt is visible (reported, counted)
+// without breaking the build. The fingerprint is deliberately
+// position-independent — rule + package + enclosing function +
+// message — so unrelated edits that shift line numbers do not churn
+// the baseline.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// baselineVersion is the schema tag of the baseline document.
+const baselineVersion = "pbsim-lint/v1"
+
+// A BaselineEntry is one recorded finding identity.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	Package string `json:"package"`
+	Func    string `json:"func,omitempty"`
+	Message string `json:"message"`
+}
+
+// baselineFile is the on-disk document.
+type baselineFile struct {
+	Version  string          `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// Fingerprint returns the diagnostic's position-independent identity
+// key used for baseline matching.
+func Fingerprint(d Diagnostic) string {
+	return fingerprintOf(d.Rule, d.Package, d.Func, d.Message)
+}
+
+func fingerprintOf(rule, pkg, fn, msg string) string {
+	return rule + "\x00" + pkg + "\x00" + fn + "\x00" + msg
+}
+
+// LoadBaseline reads a baseline file into a fingerprint set. A
+// missing file is an empty baseline (the ratchet's natural zero), not
+// an error; a malformed one is an error so a corrupt baseline cannot
+// silently approve everything.
+func LoadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return map[string]bool{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var doc baselineFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("analysis: baseline %s: %w", path, err)
+	}
+	if doc.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: baseline %s: version %q, want %q", path, doc.Version, baselineVersion)
+	}
+	set := make(map[string]bool, len(doc.Findings))
+	for _, e := range doc.Findings {
+		set[fingerprintOf(e.Rule, e.Package, e.Func, e.Message)] = true
+	}
+	return set, nil
+}
+
+// ApplyBaseline marks every unsuppressed diagnostic whose fingerprint
+// is in the set as Baselined, removing it from the active count.
+// Suppressed findings are left alone (the waiver already carries the
+// justification) and the reserved "ignore" rule can never be
+// baselined — a malformed waiver must be fixed, not ratcheted.
+func ApplyBaseline(diags []Diagnostic, set map[string]bool) {
+	for i := range diags {
+		d := &diags[i]
+		if d.Suppressed || d.Rule == IgnoreRule {
+			continue
+		}
+		if set[Fingerprint(*d)] {
+			d.Baselined = true
+		}
+	}
+}
+
+// WriteBaseline serializes the unsuppressed findings as a baseline
+// document: sorted, deduplicated, and indented, so the committed file
+// is byte-stable and diffs review cleanly.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	doc := baselineFile{Version: baselineVersion, Findings: []BaselineEntry{}}
+	seen := make(map[string]bool)
+	for _, d := range diags {
+		if d.Suppressed || d.Rule == IgnoreRule {
+			continue
+		}
+		fp := Fingerprint(d)
+		if seen[fp] {
+			continue
+		}
+		seen[fp] = true
+		doc.Findings = append(doc.Findings, BaselineEntry{
+			Rule: d.Rule, Package: d.Package, Func: d.Func, Message: d.Message,
+		})
+	}
+	sort.Slice(doc.Findings, func(i, j int) bool {
+		a, b := doc.Findings[i], doc.Findings[j]
+		return fingerprintOf(a.Rule, a.Package, a.Func, a.Message) <
+			fingerprintOf(b.Rule, b.Package, b.Func, b.Message)
+	})
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,110 @@
+package analysis_test
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pbsim/internal/analysis"
+)
+
+func mkDiag(rule, pkg, fn, msg string, line int) analysis.Diagnostic {
+	return analysis.Diagnostic{
+		Rule:     rule,
+		Package:  pkg,
+		Func:     fn,
+		Message:  msg,
+		Position: token.Position{Filename: "x/f.go", Line: line, Column: 1},
+	}
+}
+
+// TestBaselineRoundTrip pins the ratchet's core contract: a written
+// baseline re-loads to the same fingerprint set, fingerprints are
+// position-independent (line drift does not churn), and ApplyBaseline
+// marks exactly the recorded findings.
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	recorded := []analysis.Diagnostic{
+		mkDiag("nopanic", "pbsim/internal/x", "Frob", "panic in library code", 10),
+		mkDiag("hotalloc", "pbsim/internal/y", "Hot", "allocates: make", 20),
+	}
+	if err := analysis.WriteBaseline(path, recorded); err != nil {
+		t.Fatal(err)
+	}
+	set, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 {
+		t.Fatalf("loaded %d fingerprints, want 2", len(set))
+	}
+
+	// Same identities at different positions, plus one new finding.
+	diags := []analysis.Diagnostic{
+		mkDiag("nopanic", "pbsim/internal/x", "Frob", "panic in library code", 99),
+		mkDiag("hotalloc", "pbsim/internal/y", "Hot", "allocates: make", 1),
+		mkDiag("leakygo", "pbsim/internal/z", "Spawn", "goroutine leaks", 5),
+	}
+	analysis.ApplyBaseline(diags, set)
+	if !diags[0].Baselined || !diags[1].Baselined {
+		t.Errorf("recorded findings not baselined despite line drift: %+v", diags[:2])
+	}
+	if diags[2].Baselined {
+		t.Error("new finding was baselined")
+	}
+	if got := analysis.Active(diags); got != 1 {
+		t.Errorf("Active = %d, want 1 (only the new finding)", got)
+	}
+}
+
+// TestBaselineEdgeCases: a missing file is the empty baseline, the
+// reserved ignore rule and suppressed findings are never written or
+// baselined, and a corrupt file is an error rather than a universal
+// approval.
+func TestBaselineEdgeCases(t *testing.T) {
+	set, err := analysis.LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatalf("missing baseline should be empty, got error %v", err)
+	}
+	if len(set) != 0 {
+		t.Fatalf("missing baseline loaded %d fingerprints", len(set))
+	}
+
+	path := filepath.Join(t.TempDir(), "b.json")
+	supp := mkDiag("errdiscard", "p", "F", "dropped", 1)
+	supp.Suppressed = true
+	ign := mkDiag(analysis.IgnoreRule, "p", "F", "needs a reason", 2)
+	keep := mkDiag("nopanic", "p", "G", "panics", 3)
+	if err := analysis.WriteBaseline(path, []analysis.Diagnostic{supp, ign, keep, keep}); err != nil {
+		t.Fatal(err)
+	}
+	set, err = analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 1 {
+		t.Errorf("baseline holds %d fingerprints, want 1 (suppressed + ignore excluded, duplicate folded)", len(set))
+	}
+
+	ignored := []analysis.Diagnostic{mkDiag(analysis.IgnoreRule, "p", "F", "needs a reason", 2)}
+	analysis.ApplyBaseline(ignored, map[string]bool{analysis.Fingerprint(ignored[0]): true})
+	if ignored[0].Baselined {
+		t.Error("the reserved ignore rule must not be baselineable")
+	}
+
+	bad := filepath.Join(t.TempDir(), "corrupt.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.LoadBaseline(bad); err == nil {
+		t.Error("corrupt baseline should be an error")
+	}
+	wrongVer := filepath.Join(t.TempDir(), "ver.json")
+	if err := os.WriteFile(wrongVer, []byte(`{"version":"other/v9","findings":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analysis.LoadBaseline(wrongVer); err == nil {
+		t.Error("wrong-version baseline should be an error")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"sort"
 	"strings"
 )
 
@@ -25,18 +26,20 @@ func RelPosition(root, filename string) string {
 //
 //	file:line:col: rule: message
 //
-// Suppressed findings are hidden unless showSuppressed is set, in
-// which case they are annotated with the waiver's reason. It returns
-// the number of lines written.
+// Suppressed and baselined findings are hidden unless showSuppressed
+// is set, in which case they are annotated with the waiver's reason
+// (or "baselined"). It returns the number of lines written.
 func WritePlain(w io.Writer, root string, diags []Diagnostic, showSuppressed bool) int {
 	n := 0
 	for _, d := range diags {
-		if d.Suppressed && !showSuppressed {
+		if (d.Suppressed || d.Baselined) && !showSuppressed {
 			continue
 		}
 		suffix := ""
 		if d.Suppressed {
 			suffix = fmt.Sprintf(" (suppressed: %s)", d.Reason)
+		} else if d.Baselined {
+			suffix = " (baselined)"
 		}
 		fmt.Fprintf(w, "%s:%d:%d: %s: %s%s\n",
 			RelPosition(root, d.Position.Filename), d.Position.Line, d.Position.Column,
@@ -52,9 +55,12 @@ type jsonDiagnostic struct {
 	File       string `json:"file"`
 	Line       int    `json:"line"`
 	Col        int    `json:"col"`
+	Package    string `json:"package,omitempty"`
+	Func       string `json:"func,omitempty"`
 	Message    string `json:"message"`
 	Suppressed bool   `json:"suppressed,omitempty"`
 	Reason     string `json:"reason,omitempty"`
+	Baselined  bool   `json:"baselined,omitempty"`
 }
 
 // jsonReport is the top-level -json document: the findings plus the
@@ -62,18 +68,22 @@ type jsonDiagnostic struct {
 type jsonReport struct {
 	Findings   int              `json:"findings"`
 	Suppressed int              `json:"suppressed"`
+	Baselined  int              `json:"baselined"`
 	Diags      []jsonDiagnostic `json:"diagnostics"`
 }
 
-// WriteJSON emits every diagnostic — suppressed ones included and
-// marked, so the CI artifact records the full waiver ledger — as one
-// indented JSON document.
+// WriteJSON emits every diagnostic — suppressed and baselined ones
+// included and marked, so the CI artifact records the full waiver
+// ledger — as one indented JSON document.
 func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
 	report := jsonReport{Diags: []jsonDiagnostic{}}
 	for _, d := range diags {
-		if d.Suppressed {
+		switch {
+		case d.Suppressed:
 			report.Suppressed++
-		} else {
+		case d.Baselined:
+			report.Baselined++
+		default:
 			report.Findings++
 		}
 		report.Diags = append(report.Diags, jsonDiagnostic{
@@ -81,12 +91,75 @@ func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
 			File:       RelPosition(root, d.Position.Filename),
 			Line:       d.Position.Line,
 			Col:        d.Position.Column,
+			Package:    d.Package,
+			Func:       d.Func,
 			Message:    d.Message,
 			Suppressed: d.Suppressed,
 			Reason:     d.Reason,
+			Baselined:  d.Baselined,
 		})
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(report)
+}
+
+// WriteMarkdown renders the CI step-summary view: a per-rule count
+// table (active / baselined / waived), the list of active findings,
+// and the waiver ledger with reasons. Deterministic: rows follow the
+// already-sorted diagnostic order, rules sort lexically.
+func WriteMarkdown(w io.Writer, root string, diags []Diagnostic) {
+	type counts struct{ active, baselined, waived int }
+	byRule := make(map[string]*counts)
+	var rules []string
+	for _, d := range diags {
+		c, ok := byRule[d.Rule]
+		if !ok {
+			c = &counts{}
+			byRule[d.Rule] = c
+			rules = append(rules, d.Rule)
+		}
+		switch {
+		case d.Suppressed:
+			c.waived++
+		case d.Baselined:
+			c.baselined++
+		default:
+			c.active++
+		}
+	}
+	sort.Strings(rules)
+
+	fmt.Fprintf(w, "### pbcheck findings\n\n")
+	fmt.Fprintf(w, "| Rule | Active | Baselined | Waived |\n|---|---:|---:|---:|\n")
+	var total counts
+	for _, rule := range rules {
+		c := byRule[rule]
+		fmt.Fprintf(w, "| %s | %d | %d | %d |\n", rule, c.active, c.baselined, c.waived)
+		total.active += c.active
+		total.baselined += c.baselined
+		total.waived += c.waived
+	}
+	fmt.Fprintf(w, "| **total** | **%d** | **%d** | **%d** |\n", total.active, total.baselined, total.waived)
+
+	if total.active > 0 {
+		fmt.Fprintf(w, "\n#### New findings (not in baseline)\n\n")
+		for _, d := range diags {
+			if d.Suppressed || d.Baselined {
+				continue
+			}
+			fmt.Fprintf(w, "- `%s:%d` **%s**: %s\n",
+				RelPosition(root, d.Position.Filename), d.Position.Line, d.Rule, d.Message)
+		}
+	}
+	if total.waived > 0 {
+		fmt.Fprintf(w, "\n#### Waivers\n\n| Location | Rule | Reason |\n|---|---|---|\n")
+		for _, d := range diags {
+			if !d.Suppressed {
+				continue
+			}
+			fmt.Fprintf(w, "| `%s:%d` | %s | %s |\n",
+				RelPosition(root, d.Position.Filename), d.Position.Line, d.Rule, d.Reason)
+		}
+	}
 }

@@ -34,6 +34,35 @@ type Package struct {
 	TypeErrors []error
 }
 
+// EnclosingFunc returns the name of the function declaration enclosing
+// pos — "Name" for functions, "Type.Method" for methods — or "" at
+// file scope. Baseline fingerprints use it so findings keep their
+// identity as lines drift.
+func (p *Package) EnclosingFunc(pos token.Pos) string {
+	for _, file := range p.Files {
+		if pos < file.Pos() || pos > file.End() {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				recv := types.ExprString(fd.Recv.List[0].Type)
+				recv = strings.TrimPrefix(recv, "*")
+				if i := strings.IndexByte(recv, '['); i >= 0 {
+					recv = recv[:i] // drop type parameters
+				}
+				name = recv + "." + name
+			}
+			return name
+		}
+	}
+	return ""
+}
+
 // A Loader parses and type-checks packages of a single module. It
 // resolves intra-module imports by recursing into the module tree and
 // standard-library imports through go/importer's source importer, so
@@ -139,6 +168,23 @@ func (l *Loader) Load(dirs []string) ([]*Package, error) {
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
+}
+
+// Universe returns every module package the loader has parsed and
+// type-checked so far: the packages requested through Load plus every
+// module dependency pulled in to resolve their imports (loadDir keeps
+// full syntax trees for those too). This is the input the fact engine
+// wants — facts must see a helper's body even when its package was
+// not selected for reporting. Deterministic path order.
+func (l *Loader) Universe() []*Package {
+	var out []*Package
+	for _, pkg := range l.cache {
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }
 
 // importPath maps an absolute directory inside the module to its

@@ -1,0 +1,63 @@
+package analysis_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"pbsim/internal/analysis"
+	"pbsim/internal/analysis/rules"
+)
+
+// TestDeterministicOrdering pins the byte-stability contract the
+// findings diff and the baseline ratchet depend on: the same
+// packages analyzed in any load order produce identical plain and
+// JSON output. The two seeded packages each produce findings, so a
+// sort regression would actually reorder something.
+func TestDeterministicOrdering(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, d := range []string{"locksafe", "leakygo"} {
+		abs, err := filepath.Abs(filepath.Join("rules", "testdata", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, abs)
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("got %d packages, want 2", len(pkgs))
+	}
+	reversed := []*analysis.Package{pkgs[1], pkgs[0]}
+
+	render := func(order []*analysis.Package) (string, string) {
+		diags, err := analysis.RunUniverse(order, loader.Universe(), rules.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plain, js bytes.Buffer
+		analysis.WritePlain(&plain, loader.Root, diags, true)
+		if err := analysis.WriteJSON(&js, loader.Root, diags); err != nil {
+			t.Fatal(err)
+		}
+		return plain.String(), js.String()
+	}
+
+	plainFwd, jsonFwd := render(pkgs)
+	plainRev, jsonRev := render(reversed)
+	if plainFwd == "" {
+		t.Fatal("seeded packages produced no plain output; the ordering test needs findings to order")
+	}
+	if plainFwd != plainRev {
+		t.Errorf("plain output depends on package order:\n--- forward ---\n%s--- reversed ---\n%s", plainFwd, plainRev)
+	}
+	if jsonFwd != jsonRev {
+		t.Errorf("JSON output depends on package order:\n--- forward ---\n%s--- reversed ---\n%s", jsonFwd, jsonRev)
+	}
+}

@@ -54,6 +54,8 @@ func runDeterminism(pass *analysis.Pass) {
 			switch n := n.(type) {
 			case *ast.Ident:
 				checkForbiddenObject(pass, n)
+			case *ast.CallExpr:
+				checkNondetCallee(pass, n)
 			case *ast.BlockStmt:
 				checkStmtList(pass, info, n.List)
 			case *ast.CaseClause:
@@ -64,6 +66,25 @@ func runDeterminism(pass *analysis.Pass) {
 			return true
 		})
 	}
+}
+
+// checkNondetCallee is the interprocedural half: a call to a module
+// function that transitively reaches a nondeterminism sink (per the
+// fact engine's fixpoint) taints this package just as a direct sink
+// would. The call site is only reported when the callee will not
+// report at its own definition — i.e. the callee lives outside the
+// deterministic packages, or its package was loaded only as a
+// dependency — so each laundered sink surfaces exactly once.
+func checkNondetCallee(pass *analysis.Pass, call *ast.CallExpr) {
+	fi := pass.Facts.Lookup(calleeObject(pass.TypesInfo(), call))
+	if fi == nil || !fi.Facts().Has(analysis.FactNondet) {
+		return
+	}
+	if pathHasSegment(fi.Pkg.Path, deterministicSegments) && pass.Facts.IsAnalyzed(fi.Pkg.Path) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s reaches a nondeterminism source (%s → %s); deterministic packages must compute from configuration and simulated time only",
+		fi.DisplayName(), fi.DisplayName(), fi.Why(analysis.FactNondet))
 }
 
 // checkStmtList examines each range statement in a statement list

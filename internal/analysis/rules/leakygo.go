@@ -1,0 +1,142 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pbsim/internal/analysis"
+)
+
+// LeakyGo flags go statements that start a goroutine with no visible
+// way to stop: no context, no channel, no WaitGroup anywhere in the
+// launch. The runner's worker pool and the obs progress/debug
+// goroutines are the motivating cases — a campaign that spawns one
+// leaked goroutine per run bleeds memory across a 10k-row sweep, and
+// a goroutine still touching a checkpoint writer after Close is a
+// race the detector only catches if a test happens to overlap them.
+//
+// A goroutine counts as terminable when the analyzer can see any of:
+//
+//   - an argument (or the goroutine expression itself) carrying a
+//     context.Context, a channel, or a *sync.WaitGroup — the caller
+//     handed it a stop signal;
+//   - for a function literal or a module function (resolved through
+//     the fact engine's index), a body containing a select statement,
+//     a channel receive, a range over a channel, a context method
+//     call (Done/Err/Deadline), or a sync.WaitGroup Done — it
+//     terminates or signals on its own.
+//
+// Goroutines running foreign code with none of those (the obs debug
+// server's go srv.Serve(ln) is the canonical case) need a reasoned
+// waiver naming the out-of-band termination path.
+var LeakyGo = &analysis.Analyzer{
+	Name: "leakygo",
+	Doc:  "go statements must have a visible termination path: a context, channel, or WaitGroup in the launch, or a select/receive/Done in the goroutine body",
+	Run:  runLeakyGo,
+}
+
+func runLeakyGo(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			call := gs.Call
+			for _, arg := range call.Args {
+				if isTerminationCarrier(info.TypeOf(arg)) {
+					return true
+				}
+			}
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.FuncLit:
+				if bodyHasTermination(info, fun.Body) {
+					return true
+				}
+			default:
+				if fi := pass.Facts.Lookup(calleeObject(info, call)); fi != nil {
+					if bodyHasTermination(fi.Pkg.Info, fi.Decl.Body) {
+						return true
+					}
+				}
+			}
+			pass.Reportf(gs.Pos(), "goroutine has no visible termination path (no context, channel, or WaitGroup in the launch or body); it can outlive its owner and leak")
+			return true
+		})
+	}
+}
+
+// isTerminationCarrier reports whether a value of type t can carry a
+// stop signal into the goroutine.
+func isTerminationCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if isContextType(t) {
+		return true
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		if named, ok := types.Unalias(ptr.Elem()).(*types.Named); ok {
+			if named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sync" && named.Obj().Name() == "WaitGroup" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// bodyHasTermination scans a goroutine body (with info from the body's
+// own package — module callees resolve against their defining package)
+// for a termination construct.
+func bodyHasTermination(info *types.Info, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sync":
+				if fn.Name() == "Done" || fn.Name() == "Wait" {
+					found = true
+				}
+			case "context":
+				switch fn.Name() {
+				case "Done", "Err", "Deadline":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,228 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pbsim/internal/analysis"
+)
+
+// LockSafe guards the concurrency primitives PR 4 leaned into
+// (sync.Mutex around the runner's failure list, the obs metrics
+// scopes, the trace program cache): a lock that can exit its function
+// still held, a WaitGroup raced against its own Wait, or a sync type
+// copied by value deadlocks or corrupts exactly the campaign-scale
+// runs the fault-tolerant runner exists for — and those bugs are
+// timing-dependent, so tests rarely catch them.
+//
+// Checks, per function body (nested function literals are analyzed as
+// their own scopes):
+//
+//   - every mu.Lock()/mu.RLock() needs a matching mu.Unlock()/
+//     mu.RUnlock() on the same receiver in the same scope; a deferred
+//     unlock (directly or inside a deferred closure) covers all paths;
+//   - with only non-deferred unlocks, a return between the lock and
+//     the first subsequent unlock leaves the mutex held on that path;
+//   - defer mu.Lock() is flagged (the classic typo for defer
+//     mu.Unlock());
+//   - wg.Add positioned after wg.Wait on the same WaitGroup in the
+//     same scope races the Wait;
+//   - parameters and receivers that pass a sync primitive by value
+//     copy its internal state, so the copy guards nothing.
+var LockSafe = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "Lock/Unlock and RLock/RUnlock must pair on all paths (defer recognized); WaitGroup Add must precede Wait; sync types must not be copied by value",
+	Run:  runLockSafe,
+}
+
+// syncValueTypes are the sync primitives that become useless (or
+// undefined behavior) when copied after first use.
+var syncValueTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Map": true, "Pool": true, "Cond": true,
+}
+
+func runLockSafe(pass *analysis.Pass) {
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkSyncCopies(pass, fd)
+			if fd.Body != nil {
+				checkLockScope(pass, fd.Body)
+			}
+		}
+	}
+}
+
+// checkSyncCopies flags parameters and receivers whose declared type
+// is a bare sync primitive (copied at every call).
+func checkSyncCopies(pass *analysis.Pass, fd *ast.FuncDecl) {
+	check := func(field *ast.Field, what string) {
+		t := pass.TypesInfo().TypeOf(field.Type)
+		if t == nil {
+			return
+		}
+		named, ok := types.Unalias(t).(*types.Named)
+		if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+			return
+		}
+		if syncValueTypes[named.Obj().Name()] {
+			pass.Reportf(field.Type.Pos(),
+				"sync.%s %s by value copies its internal state; pass a pointer so every user shares one primitive",
+				named.Obj().Name(), what)
+		}
+	}
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			check(field, "receiver")
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			check(field, "parameter")
+		}
+	}
+}
+
+// lockEvent is one lock-relevant call in a scope, in source order.
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // receiver expression text, e.g. "m.mu"
+	method   string // Lock, Unlock, RLock, RUnlock, Add, Wait, Done
+	deferred bool
+	ret      bool // a return statement, not a call
+}
+
+// checkLockScope analyzes one function body. Nested function literals
+// are excluded from the linear scan (their returns and unlocks belong
+// to their own control flow) and recursed into as independent scopes —
+// except deferred closures, whose unlocks run on every exit of THIS
+// scope and therefore count as deferred unlocks here.
+func checkLockScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo()
+	var events []lockEvent
+
+	// syncMethod resolves a call to a method of a sync type (directly
+	// or through embedding/interface), returning receiver text and
+	// method name.
+	syncMethod := func(call *ast.CallExpr) (string, string, bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return "", "", false
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return "", "", false
+		}
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+
+	var nested []*ast.BlockStmt
+	var walk func(n ast.Node, deferred bool)
+	walk = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				nested = append(nested, n.Body)
+				return false
+			case *ast.DeferStmt:
+				if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+					// A deferred closure's body executes on scope
+					// exit: its sync calls are deferred events here,
+					// and it is NOT analyzed as an independent scope.
+					walk(lit.Body, true)
+					return false
+				}
+				if recv, method, ok := syncMethod(n.Call); ok {
+					events = append(events, lockEvent{pos: n.Pos(), recv: recv, method: method, deferred: true})
+				}
+				return false
+			case *ast.ReturnStmt:
+				events = append(events, lockEvent{pos: n.Pos(), ret: true})
+			case *ast.CallExpr:
+				if recv, method, ok := syncMethod(n); ok {
+					events = append(events, lockEvent{pos: n.Pos(), recv: recv, method: method, deferred: deferred})
+				}
+			}
+			return true
+		})
+	}
+	walk(body, false)
+
+	checkLockEvents(pass, events)
+	for _, b := range nested {
+		checkLockScope(pass, b)
+	}
+}
+
+// unlockFor maps a lock method to its required unlock.
+func unlockFor(method string) string {
+	if method == "RLock" {
+		return "RUnlock"
+	}
+	return "Unlock"
+}
+
+// checkLockEvents applies the pairing rules to one scope's events
+// (already in source order — ast.Inspect is a pre-order walk).
+func checkLockEvents(pass *analysis.Pass, events []lockEvent) {
+	for i, e := range events {
+		if e.ret {
+			continue
+		}
+		switch e.method {
+		case "Lock", "RLock":
+			if e.deferred {
+				pass.Reportf(e.pos, "defer %s.%s() acquires the lock on function exit; this is almost always a typo for defer %s.%s()",
+					e.recv, e.method, e.recv, unlockFor(e.method))
+				continue
+			}
+			checkLockPairing(pass, events, i)
+		case "Add":
+			for _, prev := range events[:i] {
+				if !prev.ret && prev.method == "Wait" && prev.recv == e.recv && !prev.deferred {
+					pass.Reportf(e.pos, "%s.Add after %s.Wait races the Wait: a waiter may have already been released; call Add before starting the Wait",
+						e.recv, e.recv)
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkLockPairing verifies one non-deferred lock at events[i] has a
+// matching unlock and that no return sneaks between them.
+func checkLockPairing(pass *analysis.Pass, events []lockEvent, i int) {
+	lock := events[i]
+	want := unlockFor(lock.method)
+	hasDeferredUnlock := false
+	firstUnlockAfter := -1
+	for j, e := range events {
+		if e.ret || e.recv != lock.recv || e.method != want {
+			continue
+		}
+		if e.deferred {
+			hasDeferredUnlock = true
+		} else if j > i && firstUnlockAfter < 0 {
+			firstUnlockAfter = j
+		}
+	}
+	if hasDeferredUnlock {
+		return
+	}
+	if firstUnlockAfter < 0 {
+		pass.Reportf(lock.pos, "%s.%s() has no matching %s.%s() in this function; every exit path leaves the lock held",
+			lock.recv, lock.method, lock.recv, want)
+		return
+	}
+	for _, e := range events[i+1 : firstUnlockAfter] {
+		if e.ret {
+			pass.Reportf(e.pos, "return between %s.%s() and %s.%s() exits with the lock held; unlock before returning or use defer",
+				lock.recv, lock.method, lock.recv, want)
+		}
+	}
+}

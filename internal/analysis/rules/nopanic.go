@@ -35,15 +35,33 @@ func runNoPanic(pass *analysis.Pass) {
 			if !ok {
 				return true
 			}
-			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
-			if !ok || id.Name != "panic" {
-				return true
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+					pass.Reportf(call.Pos(), "panic in library code: return an error (FallibleResponse path) so the runner's panic-recovery and retry semantics stay the sole recovery path")
+					return true
+				}
 			}
-			if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
-				return true // a local function shadowing the builtin
-			}
-			pass.Reportf(call.Pos(), "panic in library code: return an error (FallibleResponse path) so the runner's panic-recovery and retry semantics stay the sole recovery path")
+			checkPanickyCallee(pass, call)
 			return true
 		})
 	}
+}
+
+// checkPanickyCallee is the interprocedural half: calling a module
+// function that transitively contains an unwaived panic (per the fact
+// engine) imports that panic into this package. The call site is only
+// reported when the callee's own package is not being analyzed — an
+// analyzed callee already reports the panic at its definition — so a
+// panic laundered through a dependency-only package still surfaces,
+// once, at the boundary where analyzed code invokes it.
+func checkPanickyCallee(pass *analysis.Pass, call *ast.CallExpr) {
+	fi := pass.Facts.Lookup(calleeObject(pass.TypesInfo(), call))
+	if fi == nil || !fi.Facts().Has(analysis.FactMayPanic) {
+		return
+	}
+	if pass.Facts.IsAnalyzed(fi.Pkg.Path) {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s may panic (%s → %s); route the failure through an error return so runner recovery stays in control",
+		fi.DisplayName(), fi.DisplayName(), fi.Why(analysis.FactMayPanic))
 }

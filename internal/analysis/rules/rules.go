@@ -22,6 +22,25 @@ func All() []*analysis.Analyzer {
 		FloatEq,
 		ErrDiscard,
 		CtxFlow,
+		HotAlloc,
+		LockSafe,
+		LeakyGo,
+	}
+}
+
+// The fact engine honors waivers for these rules while seeding facts
+// (a waived sink generates no fact), so the names it hardcodes must
+// stay in lockstep with the analyzers'.
+func init() {
+	for name, a := range map[string]*analysis.Analyzer{
+		analysis.RuleDeterminism: Determinism,
+		analysis.RuleNoPanic:     NoPanic,
+		analysis.RuleHotAlloc:    HotAlloc,
+	} {
+		if a.Name != name {
+			//pbcheck:ignore nopanic init-time invariant on our own constants; unreachable unless a rule is renamed without updating the engine
+			panic("rules: analyzer " + a.Name + " out of sync with engine rule name " + name)
+		}
 	}
 }
 

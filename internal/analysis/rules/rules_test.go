@@ -52,7 +52,11 @@ func runDir(t *testing.T, dir, ruleList string) []analysis.Diagnostic {
 	if len(unknown) > 0 {
 		t.Fatalf("unknown rules in %q: %v", ruleList, unknown)
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	// The loader's universe carries every dependency package parsed so
+	// far (including other testdata packages from earlier subtests —
+	// harmless: facts for the analyzed package derive only from its
+	// own call graph), exactly as the pbcheck driver wires it.
+	diags, err := analysis.RunUniverse(pkgs, sharedLoader(t).Universe(), analyzers)
 	if err != nil {
 		t.Fatalf("run %s: %v", dir, err)
 	}
@@ -80,6 +84,13 @@ func TestGolden(t *testing.T) {
 		{"errdiscard", "errdiscard"},
 		{"ctxflow", "ctxflow"},
 		{"ignore", ""},
+		{"hotalloc", "hotalloc"},
+		{"locksafe", "locksafe"},
+		{"leakygo", "leakygo"},
+		// The interprocedural golden: only facts/sim is analyzed; flow
+		// and clock enter the universe as dependencies, so every
+		// finding crosses at least one package boundary.
+		{"facts/sim", "determinism,nopanic,hotalloc"},
 	}
 	for _, tc := range cases {
 		t.Run(strings.ReplaceAll(tc.dir, "/", "_"), func(t *testing.T) {

@@ -1,0 +1,27 @@
+// Package clock is the bottom of the synthetic 3-package module used
+// by the fact-propagation tests: it holds the actual sinks.
+package clock
+
+import "time"
+
+// Clock reads the wall clock: the nondeterminism sink, two call hops
+// and one package boundary away from the deterministic caller in
+// testdata/facts/sim.
+func Clock() int64 {
+	return time.Now().UnixNano()
+}
+
+// Boom panics: the mayPanic sink for the same propagation chain.
+func Boom() {
+	panic("clock: boom")
+}
+
+// Alloc allocates: the allocates sink.
+func Alloc(n int) []int {
+	return make([]int, n)
+}
+
+// Pure is fact-free and must stay that way through the fixpoint.
+func Pure(a, b int) int {
+	return a + b
+}

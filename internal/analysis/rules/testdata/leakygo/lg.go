@@ -1,0 +1,93 @@
+// Package leakygo seeds violations for the leakygo analyzer: go
+// statements with no visible termination path, plus each of the
+// sanctioned launch shapes (context/channel/WaitGroup argument,
+// select or receive in the body, Done in a deferred closure) that
+// must stay silent.
+package leakygo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func work() {
+	for i := 0; i < 3; i++ {
+		_ = i * i
+	}
+}
+
+// leakyLit spins a closure with no stop signal.
+func leakyLit() {
+	go func() {
+		for {
+			work()
+		}
+	}()
+}
+
+// leakyModuleCallee launches a module function whose body has no
+// termination construct either.
+func leakyModuleCallee() {
+	go work()
+}
+
+// leakyForeign launches foreign code with no signal in the arguments;
+// the analyzer cannot see fmt's body, so this needs a waiver or a fix.
+func leakyForeign() {
+	go fmt.Println("fire and forget")
+}
+
+// selectOK terminates through a select on a stop channel.
+func selectOK(stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				work()
+			}
+		}
+	}()
+}
+
+// ctxArgOK hands the goroutine a context: the launch carries the stop
+// signal even though the callee is opaque here.
+func ctxArgOK(ctx context.Context) {
+	go tick(ctx)
+}
+
+func tick(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// wgOK signals completion through a WaitGroup.
+func wgOK(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// moduleBodyOK launches a module function that terminates by
+// receiving on a struct-field channel — visible through the fact
+// engine's index even with no signal in the launch itself.
+type pump struct {
+	stop chan struct{}
+}
+
+func (p *pump) run() {
+	for {
+		select {
+		case <-p.stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func moduleBodyOK(p *pump) {
+	go p.run()
+}

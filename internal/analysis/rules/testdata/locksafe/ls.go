@@ -1,0 +1,83 @@
+// Package locksafe seeds violations for the locksafe analyzer: every
+// pairing failure it must catch, plus the sanctioned patterns (defer
+// unlock, deferred-closure unlock, lock/unlock straight line) that
+// must stay silent.
+package locksafe
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// missingUnlock never releases.
+func missingUnlock(g *guarded) {
+	g.mu.Lock()
+	g.n++
+}
+
+// returnBetween leaves the mutex held on the early-exit path.
+func returnBetween(g *guarded, skip bool) {
+	g.mu.Lock()
+	if skip {
+		return
+	}
+	g.n++
+	g.mu.Unlock()
+}
+
+// deferTypo acquires on exit instead of releasing.
+func deferTypo(g *guarded) {
+	defer g.mu.Lock()
+	g.n++
+}
+
+// readMismatch pairs RLock with Unlock instead of RUnlock.
+func readMismatch(g *guarded) int {
+	g.rw.RLock()
+	n := g.n
+	g.rw.Unlock()
+	return n
+}
+
+// addAfterWait races the Wait it may already have released.
+func addAfterWait(wg *sync.WaitGroup) {
+	wg.Wait()
+	wg.Add(1)
+}
+
+// byValue copies both primitives at every call.
+func byValue(mu sync.Mutex, wg sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Wait()
+}
+
+// deferOK is the canonical clean pattern.
+func deferOK(g *guarded) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// deferClosureOK releases inside a deferred closure: still covers all
+// paths of this scope.
+func deferClosureOK(g *guarded) {
+	g.mu.Lock()
+	defer func() {
+		g.n++
+		g.mu.Unlock()
+	}()
+	g.n++
+}
+
+// straightLineOK locks and unlocks with no exit in between; the
+// return after the unlock is fine.
+func straightLineOK(g *guarded) int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return n
+}

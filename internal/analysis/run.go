@@ -5,15 +5,28 @@ import (
 	"sort"
 )
 
-// Run executes every analyzer over every package, applies the
-// packages' //pbcheck:ignore suppressions, and returns all
+// Run executes every analyzer over every package with a fact universe
+// limited to the packages themselves. Callers holding a Loader should
+// prefer RunUniverse(pkgs, loader.Universe(), analyzers) so the fact
+// engine sees dependency bodies too.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	return RunUniverse(pkgs, nil, analyzers)
+}
+
+// RunUniverse is the two-phase driver. Phase 1 builds the
+// interprocedural fact index over the union of pkgs and universe
+// (universe normally comes from Loader.Universe() and includes every
+// module dependency the loader pulled in — its bodies feed fact
+// propagation but it is not analyzed for reporting). Phase 2 runs
+// every analyzer over every package in pkgs with fact access, applies
+// the packages' //pbcheck:ignore suppressions, and returns all
 // diagnostics (suppressed ones included, marked) in deterministic
-// file/line/column order.
+// file/line/column order regardless of package-load order.
 //
 // Packages with type errors are rejected: findings over code that
 // does not compile are unreliable, and the repo's tier-1 gate
 // guarantees compilable input anyway.
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+func RunUniverse(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		if a.Name == IgnoreRule {
@@ -21,16 +34,44 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		known[a.Name] = true
 	}
-	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
 			return nil, fmt.Errorf("analysis: %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
 		}
+	}
+
+	// Phase 1: call graph + fact fixpoint over the whole universe.
+	// Waiver rules are always in the fact engine's vocabulary even
+	// when the corresponding analyzer was deselected, so a reasoned
+	// waiver keeps cutting fact generation under -rules subsets.
+	factKnown := map[string]bool{
+		RuleDeterminism: true, RuleNoPanic: true, RuleHotAlloc: true,
+	}
+	for name := range known {
+		factKnown[name] = true
+	}
+	seen := make(map[string]bool, len(pkgs)+len(universe))
+	var all []*Package
+	for _, pkg := range append(append([]*Package(nil), pkgs...), universe...) {
+		if pkg == nil || seen[pkg.Path] {
+			continue
+		}
+		seen[pkg.Path] = true
+		all = append(all, pkg)
+	}
+	facts := BuildFacts(all, factKnown)
+	for _, pkg := range pkgs {
+		facts.analyzed[pkg.Path] = true
+	}
+
+	// Phase 2: analyzers with fact access.
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
 		sups, supDiags := scanSuppressions(pkg, known)
 		start := len(diags)
 		diags = append(diags, supDiags...)
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, sink: &diags}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, sink: &diags}
 			a.Run(pass)
 		}
 		applySuppressions(diags[start:], sups)
@@ -39,12 +80,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// Active counts the diagnostics that are not suppressed — the number
-// that should drive a non-zero exit code.
+// Active counts the diagnostics that are neither suppressed nor
+// baselined — the number that should drive a non-zero exit code.
 func Active(diags []Diagnostic) int {
 	n := 0
 	for _, d := range diags {
-		if !d.Suppressed {
+		if !d.Suppressed && !d.Baselined {
 			n++
 		}
 	}

@@ -66,6 +66,7 @@ func ServeDebug(addr string, m *Metrics) (*DebugServer, error) {
 		Addr: ln.Addr().String(),
 		srv:  &http.Server{Handler: mux},
 	}
+	//pbcheck:ignore leakygo the goroutine terminates when DebugServer.Close shuts the listener down; http.Server owns that signal internally
 	go d.srv.Serve(ln) //pbcheck:ignore errdiscard Serve returns http.ErrServerClosed on Close; nothing actionable remains
 	return d, nil
 }

@@ -189,6 +189,7 @@ func EvaluateRowsCtx(ctx context.Context, design *Design, response FallibleRespo
 	task := func(ctx context.Context, i int) (float64, error) {
 		return response(ctx, design.Row(i))
 	}
+	//pbcheck:ignore determinism runner.Evaluate's wall-clock reads feed latency metrics only; row values are bit-identical under Nop vs instrumented recorders (pinned by obs bit-identity tests)
 	return runner.Evaluate(ctx, design.Runs(), task, cfg)
 }
 

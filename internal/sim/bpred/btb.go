@@ -54,6 +54,7 @@ func (b *BTB) Ways() int { return b.ways }
 
 // Lookup returns the predicted target for the branch at pc and whether
 // the BTB held an entry for it.
+//pbcheck:hotpath
 func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 	b.lookups++
 	b.clock++
@@ -71,6 +72,7 @@ func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 
 // Insert records the taken target of the branch at pc, evicting the
 // LRU entry of the set if necessary.
+//pbcheck:hotpath
 func (b *BTB) Insert(pc, target uint64) {
 	b.clock++
 	key := pc >> 2
@@ -125,6 +127,7 @@ func NewRAS(entries int) (*RAS, error) {
 }
 
 // Push records a return address at a call.
+//pbcheck:hotpath
 func (r *RAS) Push(addr uint64) {
 	r.stack[r.top] = addr
 	r.top = (r.top + 1) % len(r.stack)
@@ -135,6 +138,7 @@ func (r *RAS) Push(addr uint64) {
 
 // Pop predicts the target of a return. ok is false when the stack is
 // empty (an unconditional misprediction).
+//pbcheck:hotpath
 func (r *RAS) Pop() (addr uint64, ok bool) {
 	r.pops++
 	if r.count == 0 {

@@ -304,6 +304,7 @@ func (c *CPU) snapshot() Stats {
 
 // nextInstr returns the next instruction to fetch without consuming
 // it; consume advances past it.
+//pbcheck:hotpath
 func (c *CPU) nextInstr() trace.Instr {
 	if !c.pendingSet {
 		c.pending = c.gen.Next()
@@ -312,6 +313,7 @@ func (c *CPU) nextInstr() trace.Instr {
 	return c.pending
 }
 
+//pbcheck:hotpath
 func (c *CPU) consumeInstr() {
 	c.pendingSet = false
 }
@@ -321,6 +323,7 @@ func (c *CPU) consumeInstr() {
 // control instruction, an IFQ-full condition, an instruction-cache
 // stall, or a misprediction (fetch halts until the offending
 // instruction resolves and the penalty elapses).
+//pbcheck:hotpath
 func (c *CPU) fetchStage() {
 	if c.haltSeq >= 0 {
 		if c.resumeAt < 0 || c.cycle < c.resumeAt {
@@ -377,6 +380,7 @@ func (c *CPU) fetchStage() {
 
 // predictControl runs the front-end prediction hardware for a control
 // instruction and reports whether the prediction was wrong.
+//pbcheck:hotpath
 func (c *CPU) predictControl(in trace.Instr) bool {
 	if c.pred == nil {
 		return false // perfect prediction
@@ -437,6 +441,7 @@ func (c *CPU) predictControl(in trace.Instr) bool {
 
 // dispatchStage moves instructions from the IFQ into the ROB (and
 // LSQ), applying the compute shortcut.
+//pbcheck:hotpath
 func (c *CPU) dispatchStage() {
 	for n := 0; n < c.cfg.Width && c.ifqLen > 0; n++ {
 		f := &c.ifq[c.ifqHead]
@@ -467,6 +472,7 @@ func (c *CPU) dispatchStage() {
 }
 
 // depsReady reports whether both source operands of e are available.
+//pbcheck:hotpath
 func (c *CPU) depsReady(e *pipeline.Entry) bool {
 	if d := e.Instr.Dep1; d > 0 {
 		if c.readyRing[(e.Seq-int64(d))&c.ringMask] > c.cycle {
@@ -483,6 +489,7 @@ func (c *CPU) depsReady(e *pipeline.Entry) bool {
 
 // issueStage selects up to Width ready instructions, oldest first,
 // subject to functional-unit and memory-port availability.
+//pbcheck:hotpath
 func (c *CPU) issueStage() {
 	issued := 0
 	portsUsed := 0
@@ -567,6 +574,7 @@ func (c *CPU) issueStage() {
 // commitStage retires completed instructions in order, up to Width per
 // cycle, performing store writes, enhancement training, and (in
 // commit-update mode) predictor training.
+//pbcheck:hotpath
 func (c *CPU) commitStage() {
 	for n := 0; n < c.cfg.Width && !c.rob.Empty() && c.committed < c.stopAt; n++ {
 		e := c.rob.Head()

@@ -59,6 +59,7 @@ func (r *ROB) Empty() bool { return r.count == 0 }
 
 // Push allocates the tail entry and returns it for initialization. It
 // must not be called on a full buffer.
+//pbcheck:hotpath
 func (r *ROB) Push() *Entry {
 	if r.Full() {
 		panic("pipeline: Push on full ROB") //pbcheck:ignore nopanic guards a programmer error (caller must check Full); never reachable from row data
@@ -76,6 +77,7 @@ func (r *ROB) Push() *Entry {
 }
 
 // Head returns the oldest entry, or nil when empty.
+//pbcheck:hotpath
 func (r *ROB) Head() *Entry {
 	if r.count == 0 {
 		return nil
@@ -85,6 +87,7 @@ func (r *ROB) Head() *Entry {
 
 // PopHead retires the oldest entry. It must not be called on an empty
 // buffer.
+//pbcheck:hotpath
 func (r *ROB) PopHead() {
 	if r.count == 0 {
 		panic("pipeline: PopHead on empty ROB") //pbcheck:ignore nopanic guards a programmer error (caller must check Empty); never reachable from row data
@@ -97,7 +100,8 @@ func (r *ROB) PopHead() {
 }
 
 // At returns the i-th oldest entry (0 = head). The pointer is valid
-// until the entry is popped.
+// until the entry is popped. Not a hot path since the issue loop moved
+// to Window (the guard below formats its panic, which allocates).
 func (r *ROB) At(i int) *Entry {
 	if i < 0 || i >= r.count {
 		//pbcheck:ignore nopanic index invariant guards a programmer error, like a slice bounds check; never reachable from row data
@@ -116,6 +120,7 @@ func (r *ROB) At(i int) *Entry {
 // PopHead. Scanning them lets the issue loop walk the ROB without the
 // per-entry index arithmetic and occupancy check of At, which profiles
 // as the single hottest call site of the simulator.
+//pbcheck:hotpath
 func (r *ROB) Window() (a, b []Entry) {
 	if r.count == 0 {
 		return nil, nil
@@ -153,6 +158,7 @@ func (q *LSQ) Len() int { return q.used }
 func (q *LSQ) Full() bool { return q.used == q.capacity }
 
 // Alloc takes one slot; it reports false when full.
+//pbcheck:hotpath
 func (q *LSQ) Alloc() bool {
 	if q.Full() {
 		return false
@@ -162,6 +168,7 @@ func (q *LSQ) Alloc() bool {
 }
 
 // Release frees one slot.
+//pbcheck:hotpath
 func (q *LSQ) Release() {
 	if q.used == 0 {
 		panic("pipeline: Release on empty LSQ") //pbcheck:ignore nopanic guards a programmer error (release without matching allocate); never reachable from row data

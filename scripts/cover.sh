@@ -15,6 +15,8 @@ declare -A floors=(
 	["pbsim/internal/stats"]=95
 	["pbsim/internal/runner"]=75
 	["pbsim/internal/perfbench"]=80
+	["pbsim/internal/analysis"]=80
+	["pbsim/internal/analysis/rules"]=85
 )
 
 go test -covermode=atomic -coverprofile="$profile" ./... | tee /tmp/cover-packages.txt
