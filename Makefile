@@ -10,7 +10,7 @@ BENCHTIME ?= 2x
 BENCHCOUNT ?= 5
 BENCHFLAGS = -run='^$$' -bench=. -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) .
 
-.PHONY: all build vet lint lint-new lint-baseline test race short bench bench-baseline bench-check check cover
+.PHONY: all build vet lint lint-new lint-baseline test race short bench bench-baseline bench-check check cover chaos
 
 all: check
 
@@ -52,6 +52,17 @@ race:
 
 short:
 	$(GO) test -short ./...
+
+# chaos drives the kill/restart/resume loop of the distributed
+# execution layer under the race detector: workers die at injected
+# crash points, leases expire and are stolen, shard ledgers are torn
+# mid-line — and the merged campaign must render Table 9 byte-identical
+# to a sequential run. Artifacts (convergence log, merged ledger and
+# table) land in $(CHAOS_ARTIFACTS).
+CHAOS_ARTIFACTS ?= out/chaos
+chaos:
+	mkdir -p $(CHAOS_ARTIFACTS)
+	CHAOS_ARTIFACTS=$(abspath $(CHAOS_ARTIFACTS)) $(GO) test -race -count=1 -run Chaos -v ./internal/runner/dist/ | tee $(CHAOS_ARTIFACTS)/chaos.log
 
 # bench runs the pinned benchmark sweep and summarizes it into a
 # BENCH_ci.json trajectory (median + confidence interval per metric).

@@ -33,10 +33,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "pbclassify: error: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(obs.Exit(os.Stderr, "pbclassify", run()))
 }
 
 func run() (err error) {
@@ -96,6 +93,6 @@ func buildMatrix(ctx context.Context, source string, n, warmup int64, timeout ti
 		}
 		return cluster.DistanceMatrix(suite.Benchmarks, suite.RankRows)
 	default:
-		return nil, fmt.Errorf("unknown source %q", source)
+		return nil, obs.Usagef("unknown source %q", source)
 	}
 }

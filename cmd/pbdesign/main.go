@@ -22,10 +22,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "pbdesign: error: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(obs.Exit(os.Stderr, "pbdesign", run()))
 }
 
 func run() (err error) {
@@ -47,7 +44,7 @@ func run() (err error) {
 	}
 	d, err := pb.NewWithSize(*x, *foldover)
 	if err != nil {
-		return fmt.Errorf("%w (supported sizes: %v)", err, pb.SupportedSizes())
+		return obs.Usagef("%v (supported sizes: %v)", err, pb.SupportedSizes())
 	}
 	if err := pb.Verify(d); err != nil {
 		return fmt.Errorf("internal design verification failed: %w", err)

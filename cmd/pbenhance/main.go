@@ -41,10 +41,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "pbenhance: error: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(obs.Exit(os.Stderr, "pbenhance", run()))
 }
 
 func run() (err error) {
@@ -153,6 +150,6 @@ func shortcutFactory(mechanism string, tableSize int, profileLen int64) (experim
 			return enhance.NewValueReuse(tableSize)
 		}, nil
 	default:
-		return nil, fmt.Errorf("unknown mechanism %q", mechanism)
+		return nil, obs.Usagef("unknown mechanism %q", mechanism)
 	}
 }

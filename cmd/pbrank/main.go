@@ -19,8 +19,18 @@
 //
 //	pbrank [-n 100000] [-warmup 30000] [-benchmarks gzip,mcf,...]
 //	       [-timeout 0] [-retries 0] [-checkpoint suite.jsonl]
+//	       [-workers 4] [-shard-dir campaign/] [-shard-sync]
 //	       [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
 //	       [-compare] [-gap]
+//
+// Distributed mode (-workers / -shard-dir) runs the campaign through
+// the crash-safe execution layer: workers claim configuration ×
+// benchmark units via lease files and commit to per-worker shard
+// ledgers, so killed or crashed workers lose nothing committed, and
+// rerunning with the same -shard-dir resumes. Point pbworker
+// processes (other machines included, over a shared filesystem) at
+// the same directory to scale out; the merged Table 9 is
+// bit-identical to a sequential run.
 package main
 
 import (
@@ -41,14 +51,12 @@ import (
 	"pbsim/internal/pb"
 	"pbsim/internal/report"
 	"pbsim/internal/runner"
+	"pbsim/internal/runner/dist"
 	"pbsim/internal/workload"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "pbrank: error: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(obs.Exit(os.Stderr, "pbrank", run()))
 }
 
 func run() (err error) {
@@ -66,6 +74,9 @@ func run() (err error) {
 	verbose := flag.Bool("v", false, "log retries and checkpoint restores")
 	csvRanks := flag.String("csv", "", "also write the rank matrix to this CSV file")
 	csvRaw := flag.String("csv-raw", "", "also write raw per-configuration cycle counts to this CSV file")
+	workers := flag.Int("workers", 0, "run the campaign through N crash-safe in-process workers (distributed mode)")
+	shardDir := flag.String("shard-dir", "", "campaign directory for distributed mode; share it with pbworker processes to scale out, rerun with it to resume")
+	shardSync := flag.Bool("shard-sync", false, "fsync shard ledgers after every commit in distributed mode")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "pbrank")
 	flag.Parse()
 
@@ -80,7 +91,7 @@ func run() (err error) {
 
 	ws, err := selectWorkloads(*benchList)
 	if err != nil {
-		return err
+		return obs.Usagef("%v", err)
 	}
 	opts := experiment.Options{
 		Instructions: *n,
@@ -103,7 +114,15 @@ func run() (err error) {
 			}
 		}
 	}
-	suite, err := experiment.RunSuiteCtx(ctx, opts)
+	var suite *pb.Suite
+	if *workers > 0 || *shardDir != "" {
+		if *checkpoint != "" {
+			return obs.Usagef("-checkpoint is the sequential resume path; distributed mode resumes from -shard-dir itself")
+		}
+		suite, err = runDistributed(ctx, opts, *workers, *shardDir, *shardSync)
+	} else {
+		suite, err = experiment.RunSuiteCtx(ctx, opts)
+	}
 	if err != nil {
 		if runner.Cancelled(err) && *checkpoint != "" {
 			return fmt.Errorf("%w (completed configurations are saved; rerun with -checkpoint %s to resume)", err, *checkpoint)
@@ -150,6 +169,85 @@ func run() (err error) {
 		}
 	}
 	return nil
+}
+
+// runDistributed executes the campaign through the crash-safe
+// distributed layer (internal/runner/dist): N in-process workers
+// claim (configuration × benchmark) units from the campaign
+// directory via leases and commit to per-worker shard ledgers, then
+// the merge proves the vectors complete and consistent and the suite
+// is assembled from them — bit-identical to the sequential path.
+// External pbworker processes pointed at the same -shard-dir join the
+// same campaign; a killed run resumes by rerunning with the same
+// flags and -shard-dir.
+func runDistributed(ctx context.Context, opts experiment.Options, workers int, dir string, shardSync bool) (*pb.Suite, error) {
+	if workers <= 0 {
+		workers = 1
+	}
+	ephemeral := false
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "pbrank-campaign-"); err != nil {
+			return nil, err
+		}
+		ephemeral = true
+		defer os.RemoveAll(dir) //pbcheck:ignore errdiscard best-effort cleanup of an ephemeral campaign dir
+	}
+	man, err := experiment.CampaignManifest(opts)
+	if err != nil {
+		return nil, err
+	}
+	c, err := dist.Create(dir, man)
+	if err != nil {
+		return nil, err
+	}
+	task, err := experiment.CampaignTask(opts, c.Manifest())
+	if err != nil {
+		return nil, err
+	}
+	host, herr := os.Hostname()
+	if herr != nil {
+		host = "pbrank"
+	}
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		//pbcheck:ignore leakygo worker goroutines terminate via ctx cancellation inside RunWorker and are joined by the errs receive loop below
+		go func(w int) {
+			_, err := dist.RunWorker(ctx, dir, task, dist.Config{
+				ID:   fmt.Sprintf("%s-%d-w%d", host, os.Getpid(), w),
+				Sync: shardSync,
+				Runner: runner.Config{
+					Timeout: opts.Timeout,
+					Retries: opts.Retries,
+					Backoff: opts.Backoff,
+					OnRow:   opts.OnRow,
+					OnRetry: opts.OnRetry,
+				},
+				Recorder: opts.Recorder,
+			})
+			errs <- err
+		}(w)
+	}
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		if runner.Cancelled(firstErr) && !ephemeral {
+			return nil, fmt.Errorf("%w (committed units are durable; rerun with -shard-dir %s to resume)", firstErr, dir)
+		}
+		return nil, firstErr
+	}
+	res, err := c.Merge(opts.Recorder)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Complete() {
+		return nil, fmt.Errorf("campaign incomplete: %d units missing; rerun with -shard-dir %s to resume", len(res.Missing), dir)
+	}
+	return experiment.SuiteFromMerge(opts, res)
 }
 
 func selectWorkloads(list string) ([]workload.Workload, error) {

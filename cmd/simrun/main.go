@@ -15,7 +15,14 @@
 //	simrun [-bench gzip] [-n 100000] [-warmup 30000]
 //	       [-config default|all-low|all-high] [-precompute 0]
 //	       [-timeout 0] [-retries 0] [-checkpoint simrun.jsonl]
+//	       [-workers 4] [-shard-dir campaign/] [-shard-sync]
 //	       [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
+//
+// Distributed mode (-workers / -shard-dir) evaluates the benchmark
+// list through the crash-safe execution layer: several simrun
+// processes started with identical flags and the same -shard-dir
+// split the benchmarks, survive kills, and resume from the shard
+// ledgers.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 
 	"pbsim/internal/enhance"
@@ -32,15 +40,13 @@ import (
 	"pbsim/internal/pb"
 	"pbsim/internal/report"
 	"pbsim/internal/runner"
+	"pbsim/internal/runner/dist"
 	"pbsim/internal/sim"
 	"pbsim/internal/workload"
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "simrun: error: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(obs.Exit(os.Stderr, "simrun", run()))
 }
 
 func run() (err error) {
@@ -52,6 +58,9 @@ func run() (err error) {
 	timeout := flag.Duration("timeout", 0, "per-simulation timeout (0 = none)")
 	retries := flag.Int("retries", 0, "extra attempts for a failed simulation")
 	checkpoint := flag.String("checkpoint", "", "JSONL checkpoint file; finished benchmarks are skipped on rerun")
+	workers := flag.Int("workers", 0, "run the benchmarks through N crash-safe in-process workers (distributed mode)")
+	shardDir := flag.String("shard-dir", "", "campaign directory for distributed mode; share it among simrun processes with identical flags to scale out or resume")
+	shardSync := flag.Bool("shard-sync", false, "fsync shard ledgers after every commit in distributed mode")
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "simrun")
 	flag.Parse()
 
@@ -71,6 +80,14 @@ func run() (err error) {
 	names := []string{*bench}
 	if *bench == "all" {
 		names = workload.Names()
+	}
+
+	if *workers > 0 || *shardDir != "" {
+		if *checkpoint != "" {
+			return obs.Usagef("-checkpoint is the sequential resume path; distributed mode resumes from -shard-dir itself")
+		}
+		return runDistributed(ctx, names, cfg, *n, *warmup, *precompute, *configSel,
+			*workers, *shardDir, *shardSync, sess.Recorder())
 	}
 
 	rcfg := runner.Config{
@@ -125,6 +142,121 @@ func run() (err error) {
 	return nil
 }
 
+// runDistributed evaluates the benchmark list through the crash-safe
+// distributed layer (internal/runner/dist): each benchmark is one
+// claimable unit in a single "simrun" scope. Several simrun processes
+// started with identical flags and the same -shard-dir split the
+// list between them and survive kills — committed benchmarks are
+// never re-simulated, and rerunning with the same flags resumes. The
+// campaign fingerprint pins every flag that changes cycle counts AND
+// the benchmark list itself (row i means names[i]), so a flag-skewed
+// joiner is refused instead of committing mismatched rows.
+//
+// Benchmarks simulated by this process print the full statistics
+// report; rows merged from other workers' shards report their cycle
+// count, exactly like checkpoint-restored rows in sequential mode.
+func runDistributed(ctx context.Context, names []string, cfg sim.Config, n, warmup int64,
+	precompute int, configSel string, workers int, dir string, shardSync bool, rec obs.Recorder) error {
+	if workers <= 0 {
+		workers = 1
+	}
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "simrun-campaign-"); err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir) //pbcheck:ignore errdiscard best-effort cleanup of an ephemeral campaign dir
+	}
+	fp := fmt.Sprintf("simrun|config=%s|n=%d|warmup=%d|precompute=%d|benchmarks=%s",
+		configSel, n, warmup, precompute, strings.Join(names, ","))
+	c, err := dist.Create(dir, dist.Manifest{
+		Fingerprint: fp,
+		Scopes:      []dist.ScopeSpec{{Name: "simrun", Rows: len(names)}},
+		Spec: map[string]string{
+			"tool":       "simrun",
+			"config":     configSel,
+			"n":          fmt.Sprint(n),
+			"warmup":     fmt.Sprint(warmup),
+			"precompute": fmt.Sprint(precompute),
+			"benchmarks": strings.Join(names, ","),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		rec.SuiteStarted(fp, 1, len(names))
+	}
+
+	// Full statistics for rows this process simulated; a steal can
+	// double-execute a row, so the slot is written under a lock (both
+	// writers compute identical stats — the simulator is
+	// deterministic — but identical bits still need one writer).
+	var mu sync.Mutex
+	stats := make([]*sim.Stats, len(names))
+	task := func(ctx context.Context, _ string, row int) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		s, err := runOne(names[row], cfg, n, warmup, precompute)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", names[row], err)
+		}
+		mu.Lock()
+		stats[row] = &s
+		mu.Unlock()
+		return float64(s.Cycles), nil
+	}
+
+	host, herr := os.Hostname()
+	if herr != nil {
+		host = "simrun"
+	}
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		//pbcheck:ignore leakygo worker goroutines terminate via ctx cancellation inside RunWorker and are joined by the errs receive loop below
+		go func(w int) {
+			_, err := dist.RunWorker(ctx, dir, task, dist.Config{
+				ID:       fmt.Sprintf("%s-%d-w%d", host, os.Getpid(), w),
+				Sync:     shardSync,
+				Recorder: rec,
+			})
+			errs <- err
+		}(w)
+	}
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		if runner.Cancelled(firstErr) {
+			return fmt.Errorf("%w (committed benchmarks are durable; rerun with -shard-dir %s to resume)", firstErr, dir)
+		}
+		return firstErr
+	}
+	res, err := c.Merge(rec)
+	if err != nil {
+		return err
+	}
+	if !res.Complete() {
+		return fmt.Errorf("campaign incomplete: %d benchmarks missing; rerun with -shard-dir %s to resume", len(res.Missing), dir)
+	}
+	cycles, err := res.Responses("simrun")
+	if err != nil {
+		return err
+	}
+	for i, name := range names {
+		if stats[i] == nil {
+			fmt.Printf("%s: %.0f cycles (merged from another worker's shard ledger)\n", name, cycles[i])
+			continue
+		}
+		fmt.Println(report.SimStats(name, *stats[i]))
+	}
+	return nil
+}
+
 func selectConfig(sel string) (sim.Config, error) {
 	switch strings.ToLower(sel) {
 	case "default":
@@ -140,7 +272,7 @@ func selectConfig(sel string) (sim.Config, error) {
 		}
 		return sim.ConfigForLevels(levels), nil
 	default:
-		return sim.Config{}, fmt.Errorf("unknown config %q", sel)
+		return sim.Config{}, obs.Usagef("unknown config %q", sel)
 	}
 }
 

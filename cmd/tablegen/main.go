@@ -41,10 +41,7 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		fmt.Fprintf(os.Stderr, "tablegen: error: %v\n", err)
-		os.Exit(1)
-	}
+	os.Exit(obs.Exit(os.Stderr, "tablegen", run()))
 }
 
 func run() (err error) {
@@ -84,7 +81,7 @@ func run() (err error) {
 	if *table != 0 {
 		step, ok := steps[*table]
 		if !ok {
-			return fmt.Errorf("unknown table %d", *table)
+			return obs.Usagef("unknown table %d", *table)
 		}
 		return step()
 	}

@@ -3,9 +3,11 @@
 // three-benchmark experiment twice:
 //
 //  1. Under heavy injected faults — seeded transient failures on ~15%
-//     of attempts, a row that panics on its first attempt, and a row
-//     whose first attempt exceeds the per-row timeout — and shows the
-//     suite completing anyway via retries with capped backoff.
+//     of attempts, a row that panics on its first attempt, a row that
+//     twice "dies" at the commit boundary (the CrashRows injector the
+//     distributed chaos harness also uses), and a row whose first
+//     attempt exceeds the per-row timeout — and shows the suite
+//     completing anyway via retries with capped backoff.
 //
 //  2. Interrupted mid-suite (a simulated crash after a fixed number of
 //     row evaluations) with a JSONL checkpoint, then resumed: the
@@ -89,6 +91,7 @@ func run() (err error) {
 		Seed:      2026,
 		FailProb:  0.15,                                             // seeded transient failures
 		PanicRows: map[int]int{3: 1},                                // row 3 panics once
+		CrashRows: map[int]int{7: 2},                                // row 7 dies twice at the commit boundary
 		SlowRows:  map[int]time.Duration{5: 300 * time.Millisecond}, // row 5's first attempt hangs
 	}
 	metrics := obs.NewMetrics()

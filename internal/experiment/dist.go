@@ -1,0 +1,195 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pbsim/internal/pb"
+	"pbsim/internal/runner/dist"
+	"pbsim/internal/sim"
+	"pbsim/internal/workload"
+)
+
+// This file is the glue between the experiment harness and the
+// distributed execution layer (internal/runner/dist): it translates
+// an Options into a campaign manifest whose Spec lets a bare
+// cmd/pbworker process reconstruct the identical task from the
+// campaign directory alone, and folds a completed merge back into the
+// pb.Suite the sequential path produces.
+
+// Spec keys stored in the campaign manifest.
+const (
+	specTool       = "tool"
+	specN          = "n"
+	specWarmup     = "warmup"
+	specFoldover   = "foldover"
+	specLabel      = "label"
+	specBenchmarks = "benchmarks"
+)
+
+// campaignPlan is everything derivable from Options that the
+// distributed path needs: the design, the resolved workload list, and
+// the fingerprint.
+type campaignPlan struct {
+	opts    Options
+	design  *pb.Design
+	factors []pb.Factor
+	ws      []workload.Workload
+}
+
+func planCampaign(opts Options) (*campaignPlan, error) {
+	if opts.Shortcut != nil {
+		return nil, fmt.Errorf("experiment: distributed campaigns run the base simulator only (enhancement shortcuts cannot be reconstructed from a manifest)")
+	}
+	if opts.Instructions <= 0 {
+		opts.Instructions = DefaultInstructions
+	}
+	if opts.Warmup < 0 {
+		opts.Warmup = DefaultWarmup
+	}
+	ws := opts.Workloads
+	if ws == nil {
+		ws = workload.All()
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("experiment: empty workload list")
+	}
+	factors := sim.Factors()
+	design, err := pb.New(len(factors), opts.Foldover)
+	if err != nil {
+		return nil, err
+	}
+	return &campaignPlan{opts: opts, design: design, factors: factors, ws: ws}, nil
+}
+
+// CampaignManifest builds the dist manifest for opts: one scope per
+// benchmark with Design.Runs() rows each, fingerprinted exactly as
+// the sequential checkpoint path fingerprints the experiment, and a
+// Spec from which OptionsFromSpec reconstructs the task.
+func CampaignManifest(opts Options) (dist.Manifest, error) {
+	p, err := planCampaign(opts)
+	if err != nil {
+		return dist.Manifest{}, err
+	}
+	man := dist.Manifest{
+		Fingerprint: Fingerprint(p.design, p.opts),
+		Spec: map[string]string{
+			specTool:       "pbrank",
+			specN:          strconv.FormatInt(p.opts.Instructions, 10),
+			specWarmup:     strconv.FormatInt(p.opts.Warmup, 10),
+			specFoldover:   strconv.FormatBool(p.opts.Foldover),
+			specLabel:      label(p.opts),
+			specBenchmarks: benchNames(p.ws),
+		},
+	}
+	for _, w := range p.ws {
+		man.Scopes = append(man.Scopes, dist.ScopeSpec{Name: w.Name, Rows: p.design.Runs()})
+	}
+	return man, nil
+}
+
+// OptionsFromSpec reconstructs the experiment Options a joining
+// worker needs from a campaign manifest written by CampaignManifest.
+// The caller must still verify the reconstruction by comparing the
+// recomputed fingerprint against the manifest's (CampaignTask does).
+func OptionsFromSpec(spec map[string]string) (Options, error) {
+	var opts Options
+	if tool := spec[specTool]; tool != "pbrank" {
+		return opts, fmt.Errorf("experiment: campaign spec is for tool %q, not a pbrank experiment", tool)
+	}
+	var err error
+	if opts.Instructions, err = strconv.ParseInt(spec[specN], 10, 64); err != nil {
+		return opts, fmt.Errorf("experiment: campaign spec %s: %w", specN, err)
+	}
+	if opts.Warmup, err = strconv.ParseInt(spec[specWarmup], 10, 64); err != nil {
+		return opts, fmt.Errorf("experiment: campaign spec %s: %w", specWarmup, err)
+	}
+	if opts.Foldover, err = strconv.ParseBool(spec[specFoldover]); err != nil {
+		return opts, fmt.Errorf("experiment: campaign spec %s: %w", specFoldover, err)
+	}
+	if l := spec[specLabel]; l != "base" {
+		opts.Label = l
+	}
+	for _, name := range strings.Split(spec[specBenchmarks], ",") {
+		w, err := workload.ByName(name)
+		if err != nil {
+			return opts, fmt.Errorf("experiment: campaign spec %s: %w", specBenchmarks, err)
+		}
+		opts.Workloads = append(opts.Workloads, w)
+	}
+	return opts, nil
+}
+
+// CampaignTask builds the dist.Task for opts and validates it against
+// the manifest the task will execute under: the fingerprint recomputed
+// from opts must equal man.Fingerprint, so a worker reconstructed from
+// a Spec (or handed divergent flags) can never commit rows computed
+// under different budgets into someone else's campaign.
+func CampaignTask(opts Options, man dist.Manifest) (dist.Task, error) {
+	p, err := planCampaign(opts)
+	if err != nil {
+		return nil, err
+	}
+	if fp := Fingerprint(p.design, p.opts); fp != man.Fingerprint {
+		return nil, fmt.Errorf("experiment: options fingerprint %q does not match campaign %q", fp, man.Fingerprint)
+	}
+	byName := make(map[string]pb.FallibleResponse, len(p.ws))
+	for _, w := range p.ws {
+		byName[w.Name] = Response(w, p.opts.Warmup, p.opts.Instructions, nil)
+	}
+	for _, s := range man.Scopes {
+		if byName[s.Name] == nil {
+			return nil, fmt.Errorf("experiment: campaign scope %q is not among this worker's benchmarks", s.Name)
+		}
+		if s.Rows != p.design.Runs() {
+			return nil, fmt.Errorf("experiment: campaign scope %q has %d rows, design needs %d", s.Name, s.Rows, p.design.Runs())
+		}
+	}
+	design := p.design
+	return func(ctx context.Context, scope string, row int) (float64, error) {
+		resp, ok := byName[scope]
+		if !ok {
+			return 0, fmt.Errorf("experiment: unknown scope %q", scope)
+		}
+		if row < 0 || row >= design.Runs() {
+			return 0, fmt.Errorf("experiment: row %d outside design with %d runs", row, design.Runs())
+		}
+		return resp(ctx, design.Row(row))
+	}, nil
+}
+
+// SuiteFromMerge folds a complete merge back into the pb.Suite the
+// sequential path produces from the same options: identical effects,
+// ranks, and sum-of-ranks ordering, because the response vectors are
+// bit-identical. An incomplete merge is an error — a partial campaign
+// must never rank parameters.
+func SuiteFromMerge(opts Options, m *dist.MergeResult) (*pb.Suite, error) {
+	p, err := planCampaign(opts)
+	if err != nil {
+		return nil, err
+	}
+	if fp := Fingerprint(p.design, p.opts); fp != m.Fingerprint {
+		return nil, fmt.Errorf("experiment: options fingerprint %q does not match merged campaign %q", fp, m.Fingerprint)
+	}
+	names := make([]string, len(p.ws))
+	vecs := make([][]float64, len(p.ws))
+	for i, w := range p.ws {
+		names[i] = w.Name
+		vec, err := m.Responses(w.Name)
+		if err != nil {
+			return nil, err
+		}
+		vecs[i] = vec
+	}
+	return pb.SuiteFromResponses(p.design, p.factors, names, vecs)
+}
+
+func benchNames(ws []workload.Workload) string {
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name
+	}
+	return strings.Join(names, ",")
+}

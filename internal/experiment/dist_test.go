@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"pbsim/internal/runner/dist"
+	"pbsim/internal/sim"
+	"pbsim/internal/workload"
+)
+
+func distOptions(t *testing.T) Options {
+	t.Helper()
+	w, err := workload.ByName("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		Instructions: 1000,
+		Warmup:       500,
+		Foldover:     false,
+		Workloads:    []workload.Workload{w},
+	}
+}
+
+func TestCampaignManifestSpecRoundTrip(t *testing.T) {
+	opts := distOptions(t)
+	man, err := CampaignManifest(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Scopes) != 1 || man.Scopes[0].Name != "gzip" || man.Scopes[0].Rows != 44 {
+		t.Fatalf("scopes = %+v, want gzip with the 44-run design", man.Scopes)
+	}
+	back, err := OptionsFromSpec(man.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reconstruction is only trusted if its fingerprint matches;
+	// CampaignTask is the gate, so it must accept the round trip.
+	if _, err := CampaignTask(back, man); err != nil {
+		t.Fatalf("round-tripped options rejected: %v", err)
+	}
+	// A worker with skewed flags is refused.
+	skew := back
+	skew.Instructions++
+	if _, err := CampaignTask(skew, man); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Fatalf("skewed options accepted: %v", err)
+	}
+}
+
+func TestCampaignManifestRejectsShortcuts(t *testing.T) {
+	opts := distOptions(t)
+	opts.Shortcut = func(workload.Workload) (sim.ComputeShortcut, error) { return nil, nil }
+	if _, err := CampaignManifest(opts); err == nil || !strings.Contains(err.Error(), "base simulator") {
+		t.Fatalf("shortcut campaign accepted: %v", err)
+	}
+}
+
+func TestOptionsFromSpecErrors(t *testing.T) {
+	man, err := CampaignManifest(distOptions(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := func(mut func(map[string]string)) map[string]string {
+		spec := make(map[string]string, len(man.Spec))
+		for k, v := range man.Spec {
+			spec[k] = v
+		}
+		mut(spec)
+		return spec
+	}
+	cases := map[string]map[string]string{
+		"wrong tool":    bad(func(s map[string]string) { s["tool"] = "nmap" }),
+		"bad n":         bad(func(s map[string]string) { s["n"] = "many" }),
+		"bad foldover":  bad(func(s map[string]string) { s["foldover"] = "?" }),
+		"bad benchmark": bad(func(s map[string]string) { s["benchmarks"] = "gzip,doom" }),
+	}
+	for name, spec := range cases {
+		if _, err := OptionsFromSpec(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestDistributedMatchesSequential is the end-to-end bit-identity
+// pin at the experiment layer: one worker executes the campaign, and
+// the merged suite must carry the exact response vector and ranks the
+// sequential path computes.
+func TestDistributedMatchesSequential(t *testing.T) {
+	opts := distOptions(t)
+	seq, err := RunSuiteCtx(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	man, err := CampaignManifest(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dist.Create(dir, man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task, err := CampaignTask(opts, c.Manifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.RunWorker(context.Background(), dir, task, dist.Config{ID: "w1"}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Merge(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := SuiteFromMerge(opts, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Results[0].Responses {
+		s, d := seq.Results[0].Responses[i], suite.Results[0].Responses[i]
+		if math.Float64bits(s) != math.Float64bits(d) {
+			t.Fatalf("row %d: sequential %x, distributed %x", i, math.Float64bits(s), math.Float64bits(d))
+		}
+	}
+	for fi := range seq.Sums {
+		if seq.Sums[fi] != suite.Sums[fi] {
+			t.Fatalf("sum %d diverged: %d vs %d", fi, seq.Sums[fi], suite.Sums[fi])
+		}
+	}
+
+	// An incomplete merge must never rank parameters.
+	res.Values["gzip"][0] = math.NaN()
+	if _, err := SuiteFromMerge(opts, res); err == nil {
+		t.Fatal("incomplete merge produced a suite")
+	}
+}

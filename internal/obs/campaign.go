@@ -35,6 +35,16 @@ type Metrics struct {
 	// Workers tracks currently and peak concurrently busy workers.
 	Workers Gauge
 
+	// Distributed-execution accounting (see DistRecorder): lease
+	// claims (steals included), steals of expired leases, leases lost
+	// to a stealer, durable shard-ledger commits, and shard files
+	// quarantined by merge. All zero for single-process campaigns.
+	LeasesClaimed     Counter
+	LeasesStolen      Counter
+	LeasesLost        Counter
+	Commits           Counter
+	ShardsQuarantined Counter
+
 	// Latency distributions: whole rows (including backoff between
 	// retries), single attempts, and time rows spent queued before
 	// their first attempt.
@@ -202,6 +212,12 @@ type Summary struct {
 	Panics   int64 `json:"panics"`
 	Timeouts int64 `json:"timeouts"`
 
+	LeasesClaimed     int64 `json:"leases_claimed,omitempty"`
+	LeasesStolen      int64 `json:"leases_stolen,omitempty"`
+	LeasesLost        int64 `json:"leases_lost,omitempty"`
+	Commits           int64 `json:"commits,omitempty"`
+	ShardsQuarantined int64 `json:"shards_quarantined,omitempty"`
+
 	RowsPerSec float64 `json:"rows_per_sec"`
 
 	RowLatencyP50 time.Duration `json:"row_latency_p50_ns"`
@@ -219,22 +235,27 @@ type Summary struct {
 func (m *Metrics) Summary(tool string) Summary {
 	wall := m.Elapsed()
 	s := Summary{
-		Tool:          tool,
-		Fingerprint:   m.Fingerprint(),
-		Wall:          wall,
-		RowsExpected:  m.ExpectedRows(),
-		RowsSimulated: m.RowsSimulated.Value(),
-		RowsResumed:   m.RowsResumed.Value(),
-		RowsFailed:    m.RowsFailed.Value(),
-		Attempts:      m.Attempts.Value(),
-		Retries:       m.Retries.Value(),
-		Panics:        m.Panics.Value(),
-		Timeouts:      m.Timeouts.Value(),
-		RowLatencyP50: m.RowLatency.Quantile(0.50),
-		RowLatencyP95: m.RowLatency.Quantile(0.95),
-		RowLatencyMax: m.RowLatency.Max(),
-		QueueWaitP95:  m.Queued.Quantile(0.95),
-		WorkersPeak:   m.Workers.Peak(),
+		Tool:              tool,
+		Fingerprint:       m.Fingerprint(),
+		Wall:              wall,
+		RowsExpected:      m.ExpectedRows(),
+		RowsSimulated:     m.RowsSimulated.Value(),
+		RowsResumed:       m.RowsResumed.Value(),
+		RowsFailed:        m.RowsFailed.Value(),
+		Attempts:          m.Attempts.Value(),
+		Retries:           m.Retries.Value(),
+		Panics:            m.Panics.Value(),
+		Timeouts:          m.Timeouts.Value(),
+		LeasesClaimed:     m.LeasesClaimed.Value(),
+		LeasesStolen:      m.LeasesStolen.Value(),
+		LeasesLost:        m.LeasesLost.Value(),
+		Commits:           m.Commits.Value(),
+		ShardsQuarantined: m.ShardsQuarantined.Value(),
+		RowLatencyP50:     m.RowLatency.Quantile(0.50),
+		RowLatencyP95:     m.RowLatency.Quantile(0.95),
+		RowLatencyMax:     m.RowLatency.Max(),
+		QueueWaitP95:      m.Queued.Quantile(0.95),
+		WorkersPeak:       m.Workers.Peak(),
 	}
 	if wall > 0 {
 		s.RowsPerSec = float64(s.RowsSimulated) / wall.Seconds()
@@ -295,6 +316,10 @@ func (s Summary) Table() string {
 		s.Attempts, s.Retries, s.Panics, s.Timeouts)
 	fmt.Fprintf(w, "queue wait\tp95 %s\n", fmtDur(s.QueueWaitP95))
 	fmt.Fprintf(w, "workers\tpeak %d concurrent\n", s.WorkersPeak)
+	if s.LeasesClaimed > 0 || s.Commits > 0 || s.ShardsQuarantined > 0 {
+		fmt.Fprintf(w, "dist\t%d leases (%d stolen, %d lost), %d commits, %d quarantined shards\n",
+			s.LeasesClaimed, s.LeasesStolen, s.LeasesLost, s.Commits, s.ShardsQuarantined)
+	}
 	if len(s.Benchmarks) > 0 {
 		fmt.Fprintf(w, "per benchmark\twall\trows\tsimulated\tresumed\tfailed\n")
 		for _, sc := range s.Benchmarks {
@@ -325,6 +350,11 @@ func (m *Metrics) Snapshot() map[string]any {
 		"retries":            m.Retries.Value(),
 		"panics":             m.Panics.Value(),
 		"timeouts":           m.Timeouts.Value(),
+		"leases_claimed":     m.LeasesClaimed.Value(),
+		"leases_stolen":      m.LeasesStolen.Value(),
+		"leases_lost":        m.LeasesLost.Value(),
+		"commits":            m.Commits.Value(),
+		"shards_quarantined": m.ShardsQuarantined.Value(),
 		"workers_active":     m.Workers.Value(),
 		"workers_peak":       m.Workers.Peak(),
 		"row_latency_p50_ms": float64(m.RowLatency.Quantile(0.50)) / 1e6,

@@ -101,6 +101,47 @@ func (c *CLIFlags) Start(stderr io.Writer) (*Session, error) {
 	return s, nil
 }
 
+// ExitError carries an explicit process exit code alongside an error,
+// for failures that are not plain runtime errors (exit code 1): usage
+// mistakes exit 2, and tools with richer contracts can pick any code.
+type ExitError struct {
+	Code int
+	Err  error
+}
+
+func (e *ExitError) Error() string { return e.Err.Error() }
+
+func (e *ExitError) Unwrap() error { return e.Err }
+
+// Usagef builds the exit-2 error for a command-line usage mistake
+// (unknown benchmark name, malformed flag value, missing argument) as
+// opposed to a failure of valid work.
+func Usagef(format string, args ...any) error {
+	return &ExitError{Code: 2, Err: fmt.Errorf(format, args...)}
+}
+
+// Exit converts a command's run() error into its process exit code,
+// printing the uniform "tool: error: ..." line on stderr for non-nil
+// errors. The code contract shared by every CLI in this repository:
+//
+//	0  success (err == nil)
+//	1  the work itself failed (simulation error, partial campaign, I/O)
+//	2  usage error (Usagef or an *ExitError carrying 2)
+//
+// An *ExitError anywhere in err's chain selects its own code. Typical
+// use: os.Exit(obs.Exit(os.Stderr, "pbrank", run())).
+func Exit(stderr io.Writer, tool string, err error) int {
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintf(stderr, "%s: error: %v\n", tool, err)
+	var ee *ExitError
+	if errors.As(err, &ee) {
+		return ee.Code
+	}
+	return 1
+}
+
 // FoldClose closes c and, if the close fails while *err is still nil,
 // stores the close error there. It is the deferred-close idiom the
 // errdiscard analyzer demands: `defer obs.FoldClose(&err, sess)`

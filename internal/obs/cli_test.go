@@ -14,6 +14,79 @@ import (
 	"time"
 )
 
+func TestExit(t *testing.T) {
+	wrapped := fmt.Errorf("campaign: %w", Usagef("unknown benchmark %q", "nope"))
+	cases := []struct {
+		name     string
+		err      error
+		wantCode int
+		wantMsg  string // "" = nothing printed
+	}{
+		{"nil is success", nil, 0, ""},
+		{"plain error", fmt.Errorf("simulation blew up"), 1, "pbrank: error: simulation blew up\n"},
+		{"usage error", Usagef("unknown config %q", "fast"), 2, "pbrank: error: unknown config \"fast\"\n"},
+		{"wrapped usage error keeps its code", wrapped, 2, "pbrank: error: campaign: unknown benchmark \"nope\"\n"},
+		{"explicit exit code", &ExitError{Code: 3, Err: fmt.Errorf("three")}, 3, "pbrank: error: three\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if code := Exit(&buf, "pbrank", tc.err); code != tc.wantCode {
+				t.Errorf("code = %d, want %d", code, tc.wantCode)
+			}
+			if got := buf.String(); got != tc.wantMsg {
+				t.Errorf("stderr = %q, want %q", got, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestDistEvents(t *testing.T) {
+	// A Metrics recorder counts dist events; a Nop (or nil) recorder
+	// absorbs them; a Multi fans them out to dist-aware members only.
+	m := NewMetrics()
+	var sink bytes.Buffer
+	j := NewJSONL(&sink)
+	fan := Multi(m, j, Nop{})
+	d := DistEvents(fan)
+	d.LeaseClaimed("gzip", 3, false)
+	d.LeaseClaimed("gzip", 4, true)
+	d.LeaseLost("gzip", 4)
+	d.CommitAppended("w1", "gzip", 3)
+	d.ShardQuarantined("shards/w9.jsonl", "mid-file corruption")
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.LeasesClaimed.Value(); got != 2 {
+		t.Errorf("LeasesClaimed = %d, want 2", got)
+	}
+	if got := m.LeasesStolen.Value(); got != 1 {
+		t.Errorf("LeasesStolen = %d, want 1", got)
+	}
+	if got := m.LeasesLost.Value(); got != 1 {
+		t.Errorf("LeasesLost = %d, want 1", got)
+	}
+	if m.Commits.Value() != 1 || m.ShardsQuarantined.Value() != 1 {
+		t.Errorf("commits/quarantined = %d/%d, want 1/1", m.Commits.Value(), m.ShardsQuarantined.Value())
+	}
+	for _, want := range []string{"lease_claimed", "lease_lost", "commit", "shard_quarantined"} {
+		if !strings.Contains(sink.String(), fmt.Sprintf("%q", want)) {
+			t.Errorf("JSONL journal missing %s event:\n%s", want, sink.String())
+		}
+	}
+	// The summary table surfaces the dist line only when events exist.
+	tbl := m.Summary("t").Table()
+	if !strings.Contains(tbl, "2 leases (1 stolen, 1 lost), 1 commits, 1 quarantined shards") {
+		t.Errorf("summary table missing dist line:\n%s", tbl)
+	}
+	if plain := NewMetrics().Summary("t").Table(); strings.Contains(plain, "dist") {
+		t.Errorf("dist line printed for a campaign with no dist events:\n%s", plain)
+	}
+	// Nop and nil degrade to no-ops instead of panicking.
+	DistEvents(Nop{}).LeaseClaimed("s", 0, false)
+	DistEvents(nil).CommitAppended("w", "s", 0)
+}
+
 func TestRegisterCLIFlags(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	c := RegisterCLIFlags(fs, "tool")

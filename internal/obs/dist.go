@@ -1,0 +1,110 @@
+package obs
+
+// DistRecorder is the optional Recorder extension for distributed
+// campaign execution (internal/runner/dist): lease claims and steals,
+// lost leases, shard-ledger commits, and quarantined shard files. It
+// is a separate interface rather than new Recorder methods so every
+// existing Recorder implementation — including test fakes outside
+// this package — keeps compiling; obtain a view of any Recorder with
+// DistEvents, which degrades to a no-op when the recorder does not
+// care about dist events.
+type DistRecorder interface {
+	// LeaseClaimed reports one successfully acquired work-unit lease;
+	// stolen marks claims that reclaimed an expired lease from a dead
+	// or stalled worker.
+	LeaseClaimed(scope string, row int, stolen bool)
+	// LeaseLost reports a heartbeat that found its lease gone or owned
+	// by someone else — the unit may be (harmlessly) double-executed.
+	LeaseLost(scope string, row int)
+	// CommitAppended reports one result durably appended to a shard
+	// ledger by the named worker.
+	CommitAppended(worker, scope string, row int)
+	// ShardQuarantined reports a shard ledger that merge found corrupt
+	// beyond the tolerated torn tail line.
+	ShardQuarantined(path, reason string)
+}
+
+// DistEvents returns the DistRecorder view of r: r itself when it
+// implements the interface (Metrics, JSONL, and Multi fan-outs do), a
+// no-op otherwise — including for nil and for Nop. Callers can
+// therefore record dist events unconditionally.
+func DistEvents(r Recorder) DistRecorder {
+	if d, ok := r.(DistRecorder); ok {
+		return d
+	}
+	return nopDist{}
+}
+
+type nopDist struct{}
+
+func (nopDist) LeaseClaimed(string, int, bool)     {}
+func (nopDist) LeaseLost(string, int)              {}
+func (nopDist) CommitAppended(string, string, int) {}
+func (nopDist) ShardQuarantined(string, string)    {}
+
+// LeaseClaimed implements DistRecorder by fanning out to every member
+// that implements it.
+func (m multi) LeaseClaimed(scope string, row int, stolen bool) {
+	for _, r := range m {
+		DistEvents(r).LeaseClaimed(scope, row, stolen)
+	}
+}
+
+// LeaseLost implements DistRecorder.
+func (m multi) LeaseLost(scope string, row int) {
+	for _, r := range m {
+		DistEvents(r).LeaseLost(scope, row)
+	}
+}
+
+// CommitAppended implements DistRecorder.
+func (m multi) CommitAppended(worker, scope string, row int) {
+	for _, r := range m {
+		DistEvents(r).CommitAppended(worker, scope, row)
+	}
+}
+
+// ShardQuarantined implements DistRecorder.
+func (m multi) ShardQuarantined(path, reason string) {
+	for _, r := range m {
+		DistEvents(r).ShardQuarantined(path, reason)
+	}
+}
+
+// LeaseClaimed implements DistRecorder.
+func (m *Metrics) LeaseClaimed(_ string, _ int, stolen bool) {
+	m.LeasesClaimed.Inc()
+	if stolen {
+		m.LeasesStolen.Inc()
+	}
+}
+
+// LeaseLost implements DistRecorder.
+func (m *Metrics) LeaseLost(string, int) { m.LeasesLost.Inc() }
+
+// CommitAppended implements DistRecorder.
+func (m *Metrics) CommitAppended(string, string, int) { m.Commits.Inc() }
+
+// ShardQuarantined implements DistRecorder.
+func (m *Metrics) ShardQuarantined(string, string) { m.ShardsQuarantined.Inc() }
+
+// LeaseClaimed implements DistRecorder by journaling a lease_claimed
+// event.
+func (j *JSONL) LeaseClaimed(scope string, row int, stolen bool) {
+	j.emit(map[string]any{"t": "lease_claimed", "scope": scope, "row": row, "stolen": stolen})
+}
+
+// LeaseLost implements DistRecorder.
+func (j *JSONL) LeaseLost(scope string, row int) {
+	j.emit(map[string]any{"t": "lease_lost", "scope": scope, "row": row})
+}
+
+// CommitAppended implements DistRecorder.
+func (j *JSONL) CommitAppended(worker, scope string, row int) {
+	j.emit(map[string]any{"t": "commit", "worker": worker, "scope": scope, "row": row})
+}
+
+// ShardQuarantined implements DistRecorder.
+func (j *JSONL) ShardQuarantined(path, reason string) {
+	j.emit(map[string]any{"t": "shard_quarantined", "path": path, "reason": reason})
+}

@@ -273,3 +273,55 @@ func RunSuiteWithDesignCtx(ctx context.Context, design *Design, factors []Factor
 	s.Order = OrderBySum(s.Sums)
 	return s, nil
 }
+
+// SuiteFromResponses assembles a Suite from precomputed response
+// vectors — one dense vector of Design.Runs() values per benchmark —
+// instead of evaluating them. It is the analysis half of the
+// distributed execution split: workers (internal/runner/dist) produce
+// the vectors, a merge proves them complete and consistent, and this
+// function computes the identical effects, ranks, and sum-of-ranks
+// ordering a sequential RunSuiteWithDesignCtx call yields from the
+// same values.
+func SuiteFromResponses(design *Design, factors []Factor, benchmarks []string, responses [][]float64) (*Suite, error) {
+	if len(benchmarks) != len(responses) {
+		return nil, fmt.Errorf("pb: %d benchmark names but %d response vectors", len(benchmarks), len(responses))
+	}
+	if len(benchmarks) == 0 {
+		return nil, fmt.Errorf("pb: empty benchmark suite")
+	}
+	if len(factors) > design.Columns {
+		return nil, fmt.Errorf("pb: %d factors exceed the design's %d columns", len(factors), design.Columns)
+	}
+	padded := make([]Factor, design.Columns)
+	copy(padded, factors)
+	for i := len(factors); i < design.Columns; i++ {
+		padded[i] = Dummy(i - len(factors) + 1)
+	}
+	s := &Suite{
+		Design:     design,
+		Factors:    padded,
+		Benchmarks: benchmarks,
+		Results:    make([]*Result, len(benchmarks)),
+		RankRows:   make([][]int, len(benchmarks)),
+	}
+	for bi, vec := range responses {
+		if len(vec) != design.Runs() {
+			return nil, fmt.Errorf("pb: benchmark %s has %d responses, design needs %d", benchmarks[bi], len(vec), design.Runs())
+		}
+		effects, err := Effects(design, vec)
+		if err != nil {
+			return nil, fmt.Errorf("pb: benchmark %s: %w", benchmarks[bi], err)
+		}
+		s.Results[bi] = &Result{
+			Design:    design,
+			Factors:   padded,
+			Responses: vec,
+			Effects:   effects,
+			Ranks:     Ranks(effects),
+		}
+		s.RankRows[bi] = s.Results[bi].Ranks
+	}
+	s.Sums = SumOfRanks(s.RankRows)
+	s.Order = OrderBySum(s.Sums)
+	return s, nil
+}

@@ -108,6 +108,55 @@ func TestCheckpointToleratesTornLine(t *testing.T) {
 	}
 }
 
+func TestCheckpointSyncMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := OpenCheckpointWith(path, "fp", CheckpointOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Record("b", 0, 1.5); err != nil {
+		t.Fatalf("sync record: %v", err)
+	}
+	// The record must already be on disk (not just in the bufio
+	// buffer) before Close: reopening the path now sees it.
+	peek, err := OpenCheckpoint(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peek.Loaded() != 1 {
+		t.Errorf("synced record not visible before Close: loaded %d", peek.Loaded())
+	}
+	peek.Close()
+	if err := cp.Close(); err != nil {
+		t.Fatalf("sync close: %v", err)
+	}
+}
+
+func TestCheckpointCloseReportsDeferredWriteError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.jsonl")
+	cp, err := OpenCheckpointWith(path, "fp", CheckpointOptions{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the file descriptor under the checkpoint, the
+	// white-box stand-in for a disk that stopped accepting writes.
+	if err := cp.f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recErr := cp.Record("b", 0, 1)
+	if recErr == nil {
+		t.Fatal("Record on a dead file succeeded")
+	}
+	// Even a caller that dropped the Record error learns about it at
+	// Close time — and keeps learning on a second Close.
+	if err := cp.Close(); err == nil {
+		t.Error("Close dropped the deferred write error")
+	}
+	if err := cp.Close(); err == nil {
+		t.Error("second Close forgot the deferred write error")
+	}
+}
+
 // Resuming with a checkpoint must skip completed rows entirely and
 // reproduce the identical response vector.
 func TestEvaluateResumesFromCheckpoint(t *testing.T) {

@@ -1,0 +1,347 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pbsim/internal/obs"
+	"pbsim/internal/runner"
+)
+
+// Task computes one unit: the response value for row of scope. It
+// must be deterministic — the whole merge contract rests on a unit
+// producing bit-identical values no matter which worker runs it, or
+// how many times.
+type Task func(ctx context.Context, scope string, row int) (float64, error)
+
+// Config tunes one worker process.
+type Config struct {
+	// ID names this worker; it becomes the shard ledger filename and
+	// the lease owner string, so it must be unique among live workers
+	// and path-safe. Empty is an error.
+	ID string
+	// LeaseTTL is how long a claimed lease lives without a heartbeat
+	// before any other worker may steal it. Default 10s.
+	LeaseTTL time.Duration
+	// Heartbeat is the lease renewal period. Default LeaseTTL/3.
+	// Negative disables heartbeating entirely — a worker that stalls
+	// mid-unit then looks dead and gets its unit stolen, which the
+	// chaos harness uses to exercise the steal path deliberately.
+	Heartbeat time.Duration
+	// Poll is how long to wait between passes when every remaining
+	// unit is leased by someone else. Default LeaseTTL/4.
+	Poll time.Duration
+	// Sync fsyncs the shard ledger after every commit, extending
+	// durability from process death to machine death.
+	Sync bool
+	// Runner configures the execution of each unit (retries, timeout,
+	// backoff, fault-injection Wrap). Parallelism, Checkpoint, Scope,
+	// and Recorder are managed per-unit by the worker and ignored
+	// here. Wrap, if set, observes the real campaign row number.
+	Runner runner.Config
+	// Recorder observes lease and commit events (via obs.DistEvents)
+	// and per-row runner events. Nil means no observation.
+	Recorder obs.Recorder
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (cfg *Config) fill() error {
+	if cfg.ID == "" {
+		return errors.New("dist: worker needs a non-empty ID")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = cfg.LeaseTTL / 3
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = cfg.LeaseTTL / 4
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return nil
+}
+
+// WorkerStats summarizes one RunWorker call.
+type WorkerStats struct {
+	Claimed   int  // leases acquired, including steals
+	Stolen    int  // of Claimed, how many reclaimed expired leases
+	Committed int  // units this worker durably committed
+	Passes    int  // scans over the unit list
+	Crashed   bool // the worker died at an injected crash point
+}
+
+// unitError records one unit this worker failed permanently.
+type unitError struct {
+	Unit
+	Err error
+}
+
+func (e unitError) Error() string { return fmt.Sprintf("%s: %v", e.Unit, e.Err) }
+func (e unitError) Unwrap() error { return e.Err }
+
+// RunWorker executes campaign units from dir until the campaign is
+// complete, the context is cancelled, or an injected crash kills the
+// worker. It is the entire worker protocol:
+//
+//	pass:
+//	  scan every shard ledger → done set
+//	  all units done → success
+//	  for each unit not done, rotated by worker ID so workers start
+//	  in different places:
+//	    claim its lease (stealing if expired); held elsewhere → skip
+//	    heartbeat the lease in the background
+//	    run the unit through runner.Evaluate (retries, timeout,
+//	    panic recovery)
+//	    success → append to this worker's shard ledger, release lease
+//	    injected crash → return immediately, lease deliberately NOT
+//	    released: the process is "dead", the lease must expire and be
+//	    stolen, exactly as a real death
+//	    other permanent failure → record, release lease, move on
+//	  no unit claimable and campaign incomplete → poll-sleep, rescan
+//	    (another worker holds the rest; it will finish or its leases
+//	    will expire)
+//
+// A crash "death" returns runner.ErrCrash with Crashed=true so a
+// chaos harness can restart the worker in a loop. Permanent unit
+// failures are aggregated and returned once every unit has been
+// decided (done by someone, or failed here).
+func RunWorker(ctx context.Context, dir string, task Task, cfg Config) (WorkerStats, error) {
+	var stats WorkerStats
+	if err := cfg.fill(); err != nil {
+		return stats, err
+	}
+	c, err := Open(dir)
+	if err != nil {
+		return stats, err
+	}
+	led, err := openLedger(dir, cfg.ID, c.man.Fingerprint, cfg.Sync)
+	if err != nil {
+		return stats, err
+	}
+	defer led.Close() //pbcheck:ignore errdiscard commit errors are sticky and already returned by Commit; the success path closes explicitly
+
+	units := c.man.Units()
+	failed := make(map[Unit]unitError)
+	dist := obs.DistEvents(cfg.Recorder)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
+		stats.Passes++
+		done, err := c.doneUnits()
+		if err != nil {
+			return stats, err
+		}
+		remaining := 0
+		progressed := false
+		for i := range units {
+			// Rotate the scan start by a hash of the worker ID so N
+			// workers fan out across the campaign instead of convoying
+			// on unit 0.
+			u := units[(i+rotation(cfg.ID, len(units)))%len(units)]
+			if done[u] {
+				continue
+			}
+			if _, ok := failed[u]; ok {
+				continue
+			}
+			remaining++
+			if err := ctx.Err(); err != nil {
+				return stats, err
+			}
+			res, err := claim(dir, u, cfg.ID, cfg.LeaseTTL, cfg.now())
+			if err != nil {
+				return stats, err
+			}
+			if res == claimHeld {
+				continue
+			}
+			stats.Claimed++
+			if res == claimStolen {
+				stats.Stolen++
+			}
+			dist.LeaseClaimed(u.Scope, u.Row, res == claimStolen)
+
+			// Units change hands via steals; re-check the ledgers in
+			// case the previous owner committed before losing the lease.
+			if committed, err := c.unitDone(u); err != nil {
+				release(dir, u, cfg.ID)
+				return stats, err
+			} else if committed {
+				release(dir, u, cfg.ID)
+				progressed = true
+				continue
+			}
+
+			stop := startHeartbeat(dir, u, &cfg, dist)
+			v, rerr := runUnit(ctx, u, task, cfg)
+			stop()
+			if rerr != nil {
+				if errors.Is(rerr, runner.ErrCrash) {
+					// Simulated process death: vanish without releasing
+					// the lease, exactly as a kill -9 would. The lease
+					// expires; another worker (or our restarted self)
+					// steals it.
+					stats.Crashed = true
+					if cerr := led.Close(); cerr != nil {
+						return stats, cerr
+					}
+					return stats, rerr
+				}
+				if errors.Is(rerr, context.Canceled) || errors.Is(rerr, context.DeadlineExceeded) {
+					release(dir, u, cfg.ID)
+					return stats, rerr
+				}
+				failed[u] = unitError{Unit: u, Err: rerr}
+				release(dir, u, cfg.ID)
+				progressed = true
+				continue
+			}
+			if err := led.Commit(u.Scope, u.Row, v); err != nil {
+				release(dir, u, cfg.ID)
+				return stats, fmt.Errorf("dist: commit %s: %w", u, err)
+			}
+			stats.Committed++
+			dist.CommitAppended(cfg.ID, u.Scope, u.Row)
+			release(dir, u, cfg.ID)
+			progressed = true
+		}
+		if remaining == 0 {
+			if len(failed) > 0 {
+				errs := make([]error, 0, len(failed))
+				for _, u := range units {
+					if fe, ok := failed[u]; ok {
+						errs = append(errs, fe)
+					}
+				}
+				if cerr := led.Close(); cerr != nil {
+					errs = append(errs, cerr)
+				}
+				return stats, fmt.Errorf("dist: %d units failed permanently: %w", len(failed), errors.Join(errs...))
+			}
+			return stats, led.Close()
+		}
+		if !progressed {
+			// Everything left is leased elsewhere. Wait for those
+			// workers to finish or their leases to expire.
+			select {
+			case <-ctx.Done():
+				return stats, ctx.Err()
+			case <-time.After(cfg.Poll):
+			}
+		}
+	}
+}
+
+// runUnit executes one unit through runner.Evaluate to inherit its
+// retry, timeout, and panic-recovery machinery. Evaluate sees a
+// one-row problem, so cfg.Runner.Wrap — which keys fault injection by
+// row number — is adapted to observe the real campaign row rather
+// than Evaluate's index 0.
+func runUnit(ctx context.Context, u Unit, task Task, cfg Config) (float64, error) {
+	rcfg := cfg.Runner
+	rcfg.Parallelism = 1
+	rcfg.Checkpoint = nil
+	rcfg.Scope = u.Scope
+	rcfg.Recorder = cfg.Recorder
+	base := func(ctx context.Context, _ int) (float64, error) {
+		return task(ctx, u.Scope, u.Row)
+	}
+	if w := rcfg.Wrap; w != nil {
+		wrapped := w(func(ctx context.Context, i int) (float64, error) {
+			return task(ctx, u.Scope, i)
+		})
+		base = func(ctx context.Context, _ int) (float64, error) {
+			return wrapped(ctx, u.Row)
+		}
+		rcfg.Wrap = nil
+	}
+	vals, err := runner.Evaluate(ctx, 1, base, rcfg)
+	if err != nil {
+		return 0, err
+	}
+	return vals[0], nil
+}
+
+// startHeartbeat renews the lease on u every cfg.Heartbeat until the
+// returned stop function is called. A renewal that finds the lease
+// lost reports it and stops renewing — the unit keeps executing; its
+// commit stays safe because merge proves duplicates identical.
+func startHeartbeat(dir string, u Unit, cfg *Config, dist obs.DistRecorder) (stop func()) {
+	if cfg.Heartbeat < 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(cfg.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				ok, err := renew(dir, u, cfg.ID, cfg.LeaseTTL, cfg.now())
+				if err != nil || !ok {
+					if !ok {
+						dist.LeaseLost(u.Scope, u.Row)
+					}
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-done
+	}
+}
+
+// doneUnits scans every shard ledger for committed units.
+func (c *Campaign) doneUnits() (map[Unit]bool, error) {
+	paths, err := c.shardPaths()
+	if err != nil {
+		return nil, err
+	}
+	done := make(map[Unit]bool)
+	for _, p := range paths {
+		entries, _, err := readLedger(p, c.man.Fingerprint)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			done[e.Unit] = true
+		}
+	}
+	return done, nil
+}
+
+// unitDone reports whether any shard has committed u.
+func (c *Campaign) unitDone(u Unit) (bool, error) {
+	done, err := c.doneUnits()
+	if err != nil {
+		return false, err
+	}
+	return done[u], nil
+}
+
+// rotation maps a worker ID to a stable scan offset in [0, n).
+func rotation(id string, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	h := uint64(1469598103934665603) // FNV-1a
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}

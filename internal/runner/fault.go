@@ -12,6 +12,15 @@ import (
 // fault-injection harness, so tests can errors.Is for it.
 var ErrInjected = errors.New("injected fault")
 
+// ErrCrash marks a simulated process death at the commit boundary:
+// the task ran to completion but its result was discarded, exactly as
+// if the worker process died after computing a row and before
+// committing it. It wraps ErrInjected, so generic fault checks still
+// match; dist workers additionally errors.Is for ErrCrash and
+// terminate instead of retrying, which is what turns the injection
+// into real kill/restart chaos.
+var ErrCrash = fmt.Errorf("%w: crash at commit boundary", ErrInjected)
+
 // Faults is a deterministic fault-injection wrapper for tasks: given
 // the same Seed and the same schedule of attempts, it makes identical
 // decisions, which lets tests (and the resilientrun example) assert
@@ -32,6 +41,15 @@ type Faults struct {
 	FailRows map[int]int
 	// PanicRows maps row → number of leading attempts that panic.
 	PanicRows map[int]int
+	// CrashRows maps row → number of leading attempts that die at the
+	// commit boundary: the wrapped task executes fully (the simulated
+	// work is really done) and only then the attempt fails with
+	// ErrCrash, discarding the computed value. Attempt accounting uses
+	// the same per-row counter as every other mode, so a row with
+	// CrashRows[r]=k commits on its k+1-th execution regardless of
+	// which worker (or restarted process) runs it — the property the
+	// chaos harness and the resilientrun example both lean on.
+	CrashRows map[int]int
 	// SlowRows maps row → extra latency added to that row's leading
 	// attempts (see SlowAttempts). The sleep respects the attempt
 	// context, so a per-attempt timeout cuts it short.
@@ -69,7 +87,11 @@ func (f *Faults) Wrap(task Task) Task {
 				return 0, fmt.Errorf("%w: row %d slow attempt %d: %v", ErrInjected, row, attempt, err)
 			}
 		}
-		return task(ctx, row)
+		v, err := task(ctx, row)
+		if err == nil && attempt < f.CrashRows[row] {
+			return 0, fmt.Errorf("%w: row %d attempt %d (result discarded)", ErrCrash, row, attempt)
+		}
+		return v, err
 	}
 }
 

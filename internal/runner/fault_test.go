@@ -82,6 +82,51 @@ func TestFaultsDeterministicModes(t *testing.T) {
 	}
 }
 
+func TestFaultsCrashRows(t *testing.T) {
+	executed := 0
+	f := &Faults{CrashRows: map[int]int{3: 2}}
+	task := f.Wrap(func(_ context.Context, i int) (float64, error) {
+		executed++
+		return float64(i) * 10, nil
+	})
+
+	// The first two attempts of row 3 execute the task fully, then die
+	// at the commit boundary with ErrCrash (which is also ErrInjected).
+	for attempt := 0; attempt < 2; attempt++ {
+		v, err := task(context.Background(), 3)
+		if !errors.Is(err, ErrCrash) || !errors.Is(err, ErrInjected) {
+			t.Fatalf("attempt %d: err=%v, want ErrCrash", attempt, err)
+		}
+		if v != 0 {
+			t.Errorf("attempt %d: crashed attempt leaked value %v", attempt, v)
+		}
+	}
+	if executed != 2 {
+		t.Errorf("task executed %d times before the crashes, want 2 (crash is AFTER execution)", executed)
+	}
+	// The third attempt commits.
+	if v, err := task(context.Background(), 3); err != nil || v != 30 {
+		t.Errorf("post-crash attempt: v=%v err=%v", v, err)
+	}
+	// Other rows never crash.
+	if v, err := task(context.Background(), 0); err != nil || v != 0 {
+		t.Errorf("row 0: v=%v err=%v", v, err)
+	}
+
+	// Through the runner, a crashing row converges with retries — the
+	// in-process analogue of kill/restart convergence.
+	f2 := &Faults{CrashRows: map[int]int{1: 2}}
+	vals, err := Evaluate(context.Background(), 3,
+		func(_ context.Context, i int) (float64, error) { return float64(i), nil },
+		Config{Retries: 2, Wrap: f2.Wrap, Backoff: time.Microsecond})
+	if err != nil {
+		t.Fatalf("crashing row did not converge under retries: %v", err)
+	}
+	if vals[1] != 1 {
+		t.Errorf("row 1 = %v after crash retries, want 1", vals[1])
+	}
+}
+
 func TestFaultsSlowRowHonorsContext(t *testing.T) {
 	f := &Faults{SlowRows: map[int]time.Duration{0: time.Minute}}
 	task := f.Wrap(func(context.Context, int) (float64, error) { return 1, nil })
