@@ -10,7 +10,7 @@ BENCHTIME ?= 2x
 BENCHCOUNT ?= 5
 BENCHFLAGS = -run='^$$' -bench=. -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) .
 
-.PHONY: all build vet lint lint-new lint-baseline test race short bench bench-baseline bench-check check cover chaos
+.PHONY: all build vet lint lint-new lint-baseline test race short bench bench-baseline bench-check check cover chaos assess
 
 all: check
 
@@ -87,5 +87,17 @@ bench-check: bench
 # packages the campaign engine leans on hardest (obs, stats, runner).
 cover:
 	bash scripts/cover.sh coverage.out
+
+# assess runs the methodology shoot-out: PB, foldover PB,
+# one-at-a-time, and the full factorial screened against synthetic
+# ground-truth surfaces, scored for rank recovery and critical-set
+# recall. The seeded smoke campaign is small enough for CI; the trust
+# report (text + JSON artifact) lands in $(ASSESS_ARTIFACTS). The
+# output is bit-identical for any worker count.
+ASSESS_ARTIFACTS ?= out/assess
+ASSESS_FLAGS ?= -n 40 -k 9 -critical 3 -snr 10 -seed 1
+assess:
+	mkdir -p $(ASSESS_ARTIFACTS)
+	$(GO) run ./cmd/pbassess $(ASSESS_FLAGS) -json-out $(ASSESS_ARTIFACTS)/trust.json | tee $(ASSESS_ARTIFACTS)/trust.txt
 
 check: build vet lint lint-new race

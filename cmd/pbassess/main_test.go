@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pbsim/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files from the current output")
+
+// goldenArgs is the pinned small campaign: every flag fixed, one
+// worker, so the output is a pure function of the code.
+func goldenArgs(extra ...string) []string {
+	return append([]string{"-n", "5", "-k", "8", "-critical", "3", "-snr", "10", "-seed", "1", "-workers", "1"}, extra...)
+}
+
+func runTool(t *testing.T, args []string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out, io.Discard); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return out.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s (rerun with -update if intended):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// The exact text trust report for the pinned seed is frozen: any
+// change to the generator, the designs, the scoring, or the table
+// renderer must be an intentional, reviewed diff of this file.
+func TestGoldenTextReport(t *testing.T) {
+	checkGolden(t, "trust_small.golden", runTool(t, goldenArgs()))
+}
+
+func TestGoldenJSONReport(t *testing.T) {
+	checkGolden(t, "trust_small_json.golden", runTool(t, goldenArgs("-json")))
+}
+
+// The acceptance criterion at the CLI level: the JSON report is
+// bit-identical across worker counts and repeated invocations.
+func TestJSONBitIdenticalAcrossWorkers(t *testing.T) {
+	one := runTool(t, goldenArgs("-json"))
+	eight := runTool(t, []string{"-n", "5", "-k", "8", "-critical", "3", "-snr", "10", "-seed", "1", "-workers", "8", "-json"})
+	if one != eight {
+		t.Error("JSON report differs between -workers 1 and -workers 8")
+	}
+	if again := runTool(t, goldenArgs("-json")); one != again {
+		t.Error("JSON report differs across repeated invocations")
+	}
+}
+
+// -json-out writes the same bytes to the file as -json writes to
+// stdout, alongside the text report.
+func TestJSONOutFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trust.json")
+	text := runTool(t, goldenArgs("-json-out", path))
+	if !strings.Contains(text, "Table A") {
+		t.Errorf("-json-out suppressed the text report:\n%s", text)
+	}
+	fromFile, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fromFile) != runTool(t, goldenArgs("-json")) {
+		t.Error("-json-out file differs from -json stdout")
+	}
+}
+
+// -families restricts the campaign.
+func TestFamilySubset(t *testing.T) {
+	out := runTool(t, goldenArgs("-families", "three-factor"))
+	if !strings.Contains(out, "three-factor") {
+		t.Errorf("selected family missing:\n%s", out)
+	}
+	for _, absent := range []string{"main-effects", "cliff", "saturating"} {
+		if strings.Contains(out, absent) {
+			t.Errorf("unselected family %q present:\n%s", absent, out)
+		}
+	}
+	if !strings.Contains(out, "Do not trust") {
+		t.Errorf("three-factor campaign raised no warnings:\n%s", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{"-families", "no-such-family"},
+		{"-no-such-flag"},
+		{"positional"},
+	}
+	for _, args := range cases {
+		err := run(args, io.Discard, io.Discard)
+		if err == nil {
+			t.Errorf("run(%v) accepted", args)
+			continue
+		}
+		if code := obs.Exit(io.Discard, "pbassess", err); code != 2 {
+			t.Errorf("run(%v) exits %d, want 2", args, code)
+		}
+	}
+	// A generator-level error is a runtime failure (exit 1), not usage.
+	err := run([]string{"-k", "40"}, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("k=40 accepted")
+	}
+	if code := obs.Exit(io.Discard, "pbassess", err); code != 1 {
+		t.Errorf("k=40 exits %d, want 1", code)
+	}
+}

@@ -22,6 +22,8 @@ var deterministicSegments = map[string]bool{
 	"trace":   true,
 	"cluster": true,
 	"tables":  true,
+	"truth":   true,
+	"assess":  true,
 }
 
 // randConstructors are the math/rand functions that build an

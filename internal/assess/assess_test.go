@@ -1,0 +1,311 @@
+package assess
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"pbsim/internal/stats"
+	"pbsim/internal/truth"
+)
+
+// campaign is the shared small-but-meaningful test configuration.
+func campaign(workers int) Config {
+	return Config{
+		Surfaces: 40,
+		Factors:  9,
+		Critical: 3,
+		SNR:      10,
+		Seed:     1,
+		Workers:  workers,
+	}
+}
+
+func findFamily(t *testing.T, rep *Report, fam truth.Family) FamilyReport {
+	t.Helper()
+	for _, f := range rep.Families {
+		if f.Family == fam {
+			return f
+		}
+	}
+	t.Fatalf("family %s missing from report", fam)
+	return FamilyReport{}
+}
+
+func findMethod(t *testing.T, fam FamilyReport, m Method) MethodSummary {
+	t.Helper()
+	for _, s := range fam.Methods {
+		if s.Method == m {
+			return s
+		}
+	}
+	t.Fatalf("method %s missing from family %s", m, fam.Family)
+	return MethodSummary{}
+}
+
+// The acceptance bit-identity guarantee: the trust report is the same,
+// bit for bit, whether surfaces are evaluated by 1 worker or 8.
+func TestReportBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	ctx := context.Background()
+	rep1, err := Run(ctx, campaign(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep8, err := Run(ctx, campaign(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := json.Marshal(rep1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := json.Marshal(rep8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("reports differ across worker counts:\n1 worker: %s\n8 workers: %s", j1, j8)
+	}
+	// And across repeated runs of the same configuration.
+	rep1b, err := Run(ctx, campaign(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1b, _ := json.Marshal(rep1b)
+	if !bytes.Equal(j1, j1b) {
+		t.Fatal("reports differ across repeated runs of the same seed")
+	}
+}
+
+// Adversarial regression: on the dominant-three-factor-interaction
+// family the PB screen must fail loudly — trust far below the warning
+// threshold and the Warn flag raised — while the full factorial keeps
+// its trust. This pins that the harness can say "no", not just "yes":
+// PB's main-effect contrast provably receives zero contribution from
+// a 3FI's own participants (strength-2 orthogonality), so any future
+// change that makes PB "pass" here is a scoring bug, not an
+// improvement.
+func TestThreeFactorFamilyBreaksPB(t *testing.T) {
+	rep, err := Run(context.Background(), campaign(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := findFamily(t, rep, truth.ThreeFactor)
+	for _, m := range []Method{MethodPB, MethodPBFoldover} {
+		s := findMethod(t, fam, m)
+		if !s.Warn {
+			t.Errorf("%s on %s: Warn not raised (trust %.3f, threshold %.2f)", m, fam.Family, s.Trust, rep.WarnThreshold)
+		}
+		if s.Trust > 0.2 {
+			t.Errorf("%s on %s: trust %.3f, want near zero", m, fam.Family, s.Trust)
+		}
+		// The participants rank *last* under PB, so rank recovery is
+		// actively anti-correlated — worse than guessing.
+		if s.Spearman.Mean > 0 {
+			t.Errorf("%s on %s: spearman %.3f, want negative", m, fam.Family, s.Spearman.Mean)
+		}
+	}
+	full := findMethod(t, fam, MethodFullFactorial)
+	if full.Warn || full.Trust < 0.99 {
+		t.Errorf("full factorial on %s: trust %.3f warn=%v, want trusted", fam.Family, full.Trust, full.Warn)
+	}
+}
+
+// The headline ordering on an interaction-heavy family: full
+// factorial >= foldover PB >= base PB >= one-at-a-time, with the
+// foldover's advantage over the base design strict (it cancels the
+// two-factor aliasing), and base PB's recall dipping below the 0.8
+// warning threshold.
+func TestMethodOrderingOnTwoFactorFamily(t *testing.T) {
+	rep, err := Run(context.Background(), campaign(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := findFamily(t, rep, truth.TwoFactor)
+	full := findMethod(t, fam, MethodFullFactorial)
+	pbf := findMethod(t, fam, MethodPBFoldover)
+	base := findMethod(t, fam, MethodPB)
+	oat := findMethod(t, fam, MethodOneAtATime)
+	if !(full.Trust >= pbf.Trust && pbf.Trust >= base.Trust && base.Trust >= oat.Trust) {
+		t.Errorf("trust ordering violated: full %.3f, pbf %.3f, pb %.3f, oat %.3f",
+			full.Trust, pbf.Trust, base.Trust, oat.Trust)
+	}
+	if pbf.Trust <= base.Trust {
+		t.Errorf("foldover advantage not strict: pbf %.3f vs pb %.3f", pbf.Trust, base.Trust)
+	}
+	if base.Trust >= 0.8 || !base.Warn {
+		t.Errorf("base PB should be flagged on %s: trust %.3f warn=%v", fam.Family, base.Trust, base.Warn)
+	}
+	if pbf.Warn {
+		t.Errorf("foldover PB should be trusted on %s: trust %.3f", fam.Family, pbf.Trust)
+	}
+}
+
+// Where the PB model holds (pure main effects), everything must agree:
+// the screen is trustworthy and cheap.
+func TestMainEffectsFamilyTrustsPB(t *testing.T) {
+	rep, err := Run(context.Background(), campaign(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := findFamily(t, rep, truth.MainEffects)
+	for _, m := range []Method{MethodPB, MethodPBFoldover, MethodFullFactorial} {
+		s := findMethod(t, fam, m)
+		if s.Warn || s.Trust < 0.95 {
+			t.Errorf("%s on %s: trust %.3f warn=%v", m, fam.Family, s.Trust, s.Warn)
+		}
+	}
+}
+
+// Budget semantics: a method whose design exceeds the per-surface run
+// budget is skipped and recorded, never silently scored, and the
+// report still marshals cleanly (no NaN estimates).
+func TestBudgetSkipsExpensiveMethods(t *testing.T) {
+	cfg := campaign(2)
+	cfg.Surfaces = 5
+	cfg.Budget = 30 // full factorial needs 2^9 = 512, foldover 24
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := rep.Families[0]
+	full := findMethod(t, fam, MethodFullFactorial)
+	if full.Surfaces != 0 || full.Skipped != cfg.Surfaces {
+		t.Errorf("full factorial: surfaces %d skipped %d, want 0/%d", full.Surfaces, full.Skipped, cfg.Surfaces)
+	}
+	if full.Warn {
+		t.Error("a skipped method must not carry a warning")
+	}
+	pbf := findMethod(t, fam, MethodPBFoldover)
+	if pbf.Surfaces != cfg.Surfaces || pbf.Skipped != 0 {
+		t.Errorf("foldover PB: surfaces %d skipped %d", pbf.Surfaces, pbf.Skipped)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report with skipped methods does not marshal: %v", err)
+	}
+}
+
+// Per-surface scoring against a hand-built truth: a noiseless pure
+// main-effects surface must be solved perfectly by every method.
+func TestAssessSurfaceNoiselessMainEffects(t *testing.T) {
+	s, err := truth.Generate(truth.Config{
+		Family: truth.MainEffects, Factors: 8, Critical: 3, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := AssessSurface(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(Methods()) {
+		t.Fatalf("%d scores", len(scores))
+	}
+	for _, ms := range scores {
+		if ms.Skipped {
+			t.Fatalf("%s skipped without budget", ms.Method)
+		}
+		if !stats.ApproxEqual(ms.Recall, 1, 0) || !stats.ApproxEqual(ms.Precision, 1, 0) {
+			t.Errorf("%s: precision %.3f recall %.3f on a noiseless additive surface", ms.Method, ms.Precision, ms.Recall)
+		}
+		// The critical spectrum is exactly recoverable; only the
+		// nuisance tail's internal order is method-dependent. The top
+		// of the ranking must match the truth exactly.
+		if ms.Spearman < 0.5 {
+			t.Errorf("%s: spearman %.3f", ms.Method, ms.Spearman)
+		}
+	}
+	// Costs mirror the paper's Table 1.
+	wantRuns := map[Method]int{
+		MethodOneAtATime:    9,
+		MethodPB:            12,
+		MethodPBFoldover:    24,
+		MethodFullFactorial: 256,
+	}
+	for _, ms := range scores {
+		if ms.Runs != wantRuns[ms.Method] {
+			t.Errorf("%s: %d runs, want %d", ms.Method, ms.Runs, wantRuns[ms.Method])
+		}
+	}
+}
+
+func TestEffectGap(t *testing.T) {
+	cases := []struct {
+		imp  []float64
+		want int
+	}{
+		{[]float64{10, 9, 1, 0.5, 0.4, 0.3}, 2}, // big drop after the top two
+		{[]float64{10, 0.5, 0.4, 0.3, 0.2}, 1},  // single dominant factor
+		{[]float64{1, 1}, 2},                    // too short: everything critical
+		{[]float64{0.3, 10, 9, 0.5, 0.2, 8}, 3}, // order-independent of input position
+		{[]float64{1, 1, 1, 1}, 1},              // all ties: no information, cut at 1
+	}
+	for _, c := range cases {
+		if got := EffectGap(c.imp); got != c.want {
+			t.Errorf("EffectGap(%v) = %d, want %d", c.imp, got, c.want)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Factors: 9, Critical: 3}); err == nil {
+		t.Error("zero surfaces accepted")
+	}
+	// Generator errors must propagate with family context.
+	_, err := Run(context.Background(), Config{Surfaces: 1, Factors: 1, Critical: 1})
+	if err == nil {
+		t.Error("invalid generator config accepted")
+	}
+}
+
+func TestWarningsList(t *testing.T) {
+	rep, err := Run(context.Background(), campaign(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warns := rep.Warnings()
+	if len(warns) == 0 {
+		t.Fatal("no warnings on a campaign containing the three-factor family")
+	}
+	found := false
+	for _, w := range warns {
+		if w == "three-factor/pb trust 0.00" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("three-factor/pb warning missing from %q", warns)
+	}
+}
+
+// Cancellation must interrupt the campaign through the runner's error
+// path, not hang or return a partial report.
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, campaign(2)); err == nil {
+		t.Error("cancelled campaign returned no error")
+	}
+}
+
+// Guard against accidental drift of the trust definition: trust is
+// mean recall, and a method's estimate vector drives both rank and
+// set scores deterministically.
+func TestTrustIsMeanRecall(t *testing.T) {
+	rep, err := Run(context.Background(), campaign(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range rep.Families {
+		for _, m := range fam.Methods {
+			if m.Surfaces == 0 {
+				continue
+			}
+			if math.Abs(m.Trust-m.Recall.Mean) > 0 {
+				t.Errorf("%s/%s: trust %.6f != mean recall %.6f", fam.Family, m.Method, m.Trust, m.Recall.Mean)
+			}
+		}
+	}
+}

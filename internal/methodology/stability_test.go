@@ -77,3 +77,104 @@ func TestJackknifeValidation(t *testing.T) {
 		t.Error("single-benchmark suite accepted")
 	}
 }
+
+// tinySuite builds a suite directly from rank rows (indexed
+// [benchmark][factor]) for edge-case testing.
+func tinySuite(rows [][]int) *pb.Suite {
+	nf := 0
+	if len(rows) > 0 {
+		nf = len(rows[0])
+	}
+	factors := make([]pb.Factor, nf)
+	for i := range factors {
+		factors[i] = pb.Factor{Name: string(rune('A' + i))}
+	}
+	sums := pb.SumOfRanks(rows)
+	benchmarks := make([]string, len(rows))
+	for b := range benchmarks {
+		benchmarks[b] = string(rune('x' + b))
+	}
+	return &pb.Suite{
+		Benchmarks: benchmarks,
+		Factors:    factors,
+		RankRows:   rows,
+		Sums:       sums,
+		Order:      pb.OrderBySum(sums),
+	}
+}
+
+// An empty suite (no benchmarks at all) must be rejected like the
+// single-benchmark one, not crash in the resampling loop.
+func TestJackknifeEmptySuite(t *testing.T) {
+	if _, err := Jackknife(tinySuite(nil)); err == nil {
+		t.Error("empty suite accepted")
+	}
+	if _, err := Jackknife(tinySuite([][]int{})); err == nil {
+		t.Error("zero-benchmark suite accepted")
+	}
+}
+
+// A single factor cannot move: every leave-one-out ordering is the
+// trivial one, so the envelope is degenerate and trivially stable.
+func TestJackknifeSingleFactor(t *testing.T) {
+	rep, err := Jackknife(tinySuite([][]int{{1}, {1}, {1}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Factors) != 1 {
+		t.Fatalf("%d factors", len(rep.Factors))
+	}
+	fs := rep.Factors[0]
+	if fs.FullPosition != 1 || fs.MinPosition != 1 || fs.MaxPosition != 1 || fs.Spread != 0 {
+		t.Errorf("degenerate envelope expected, got %+v", fs)
+	}
+	if !rep.TopKStable(1, 0) {
+		t.Error("a single factor must be top-1 stable with zero slack")
+	}
+	if got := rep.ByFullPosition(); len(got) != 1 || got[0].FullPosition != 1 {
+		t.Errorf("ByFullPosition = %+v", got)
+	}
+}
+
+// All-ties rank sums: two benchmarks that rank the factors in exactly
+// opposite orders. The full-suite sums all tie (broken by factor
+// index), and each leave-one-out collapses to one benchmark's
+// ordering, so the outer factors' envelopes span the whole table
+// while the middle factor never moves.
+func TestJackknifeAllTiesRankSums(t *testing.T) {
+	suite := tinySuite([][]int{{1, 2, 3}, {3, 2, 1}})
+	for _, s := range suite.Sums[1:] {
+		if s != suite.Sums[0] {
+			t.Fatalf("sums %v not all tied", suite.Sums)
+		}
+	}
+	rep, err := Jackknife(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []FactorStability{
+		{FullPosition: 1, MinPosition: 1, MaxPosition: 3, Spread: 2},
+		{FullPosition: 2, MinPosition: 2, MaxPosition: 2, Spread: 0},
+		{FullPosition: 3, MinPosition: 1, MaxPosition: 3, Spread: 2},
+	} {
+		got := rep.Factors[i]
+		got.Factor = pb.Factor{}
+		if got != want {
+			t.Errorf("factor %d: %+v, want %+v", i, got, want)
+		}
+	}
+	// The "top" factor is a tie-break artifact, so it is not stable...
+	if rep.TopKStable(1, 0) {
+		t.Error("tie-broken top-1 reported stable with zero slack")
+	}
+	// ...unless the slack covers the whole table.
+	if !rep.TopKStable(1, 2) {
+		t.Error("full-table slack should make any suite stable")
+	}
+	// ByFullPosition must order 1, 2, 3 regardless of factor index.
+	for i, fs := range rep.ByFullPosition() {
+		if fs.FullPosition != i+1 {
+			t.Errorf("ByFullPosition[%d].FullPosition = %d", i, fs.FullPosition)
+		}
+	}
+}

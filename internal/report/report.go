@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pbsim/internal/assess"
 	"pbsim/internal/cluster"
 	"pbsim/internal/methodology"
 	"pbsim/internal/paperdata"
@@ -242,6 +243,45 @@ func DominanceTable(suite *pb.Suite, topK int) (string, error) {
 		}
 	}
 	return t.String(), nil
+}
+
+// TrustTable renders Table A: the methodology-assessment shoot-out.
+// One row per (surface family, screening method) pair showing how well
+// the method recovered the known truth — Spearman rank correlation,
+// critical-set precision and recall with 95% confidence intervals over
+// the sampled surfaces, the simulation budget it consumed, and a
+// verdict column that flags any method whose trust (mean recall) fell
+// below the campaign's warning threshold. This is the table the paper
+// itself could not print: it requires ground truth no real simulator
+// provides.
+func TrustTable(rep *assess.Report) string {
+	title := fmt.Sprintf(
+		"Table A: Method Trust by Surface Family (%d surfaces/family, %d factors, %d critical, SNR %.0f, warn < %.2f)",
+		rep.Surfaces(), rep.Factors, rep.Critical, rep.SNR, rep.WarnThreshold)
+	t := tables.New(title,
+		"Family", "Method", "Spearman [95% CI]", "Precision [95% CI]", "Recall [95% CI]", "Trust", "Runs", "Verdict").
+		AlignRight(2, 3, 4, 5, 6)
+	for _, fam := range rep.Families {
+		for _, m := range fam.Methods {
+			if m.Surfaces == 0 {
+				t.AddRow(string(fam.Family), string(m.Method), "-", "-", "-", "-", "-",
+					fmt.Sprintf("skipped (%d over budget)", m.Skipped))
+				continue
+			}
+			verdict := "ok"
+			if m.Warn {
+				verdict = "WARN"
+			}
+			t.AddRow(string(fam.Family), string(m.Method),
+				tables.FormatInterval(m.Spearman.Mean, m.Spearman.Lo, m.Spearman.Hi),
+				tables.FormatInterval(m.Precision.Mean, m.Precision.Lo, m.Precision.Hi),
+				tables.FormatInterval(m.Recall.Mean, m.Recall.Lo, m.Recall.Hi),
+				fmt.Sprintf("%.3f", m.Trust),
+				fmt.Sprintf("%.1f", m.MeanRuns),
+				verdict)
+		}
+	}
+	return t.String()
 }
 
 // SimStats renders a single simulation run's statistics.

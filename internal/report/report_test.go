@@ -1,9 +1,11 @@
 package report
 
 import (
+	"context"
 	"strings"
 	"testing"
 
+	"pbsim/internal/assess"
 	"pbsim/internal/cluster"
 	"pbsim/internal/methodology"
 	"pbsim/internal/paperdata"
@@ -185,5 +187,52 @@ func TestDominanceTable(t *testing.T) {
 	bare.Results = make([]*pb.Result, len(suite.Results))
 	if _, err := DominanceTable(&bare, 3); err == nil {
 		t.Error("suite without results accepted")
+	}
+}
+
+func TestTrustTable(t *testing.T) {
+	rep, err := assess.Run(context.Background(), assess.Config{
+		Surfaces: 8,
+		Factors:  8,
+		Critical: 3,
+		SNR:      10,
+		Seed:     1,
+		Workers:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := TrustTable(rep)
+	for _, want := range []string{
+		"Table A", "8 surfaces/family", "8 factors", "3 critical",
+		"main-effects", "three-factor", "pb-foldover", "full-factorial",
+		"WARN", "ok", "[",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table A missing %q:\n%s", want, out)
+		}
+	}
+	// One row per (family, method) pair.
+	wantRows := len(rep.Families)*len(assess.Methods()) + 2 // + title + header + separator - trailing newline
+	if lines := strings.Split(strings.TrimSpace(out), "\n"); len(lines) != wantRows+1 {
+		t.Errorf("Table A has %d lines, want %d:\n%s", len(lines), wantRows+1, out)
+	}
+}
+
+func TestTrustTableSkippedMethods(t *testing.T) {
+	rep, err := assess.Run(context.Background(), assess.Config{
+		Surfaces: 2,
+		Factors:  9,
+		Critical: 3,
+		Seed:     1,
+		Budget:   30, // full factorial (512 runs) is out of budget
+		Workers:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := TrustTable(rep)
+	if !strings.Contains(out, "skipped (2 over budget)") {
+		t.Errorf("skipped method not surfaced:\n%s", out)
 	}
 }

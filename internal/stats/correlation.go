@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpearmanRanks computes the Spearman rank-correlation coefficient
+// between two rank vectors over the same items: 1 - 6*sum(d^2) /
+// (n*(n^2-1)), where d is the per-item rank difference. Both inputs
+// must be permutations of 1..n (the form pb.Ranks produces — ties are
+// already broken by index there), which is the case the closed-form
+// formula is exact for. A perfect agreement yields +1, a perfect
+// reversal -1.
+func SpearmanRanks(a, b []int) (float64, error) {
+	n := len(a)
+	if n != len(b) {
+		return 0, fmt.Errorf("stats: rank vectors differ in length (%d vs %d)", n, len(b))
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("stats: spearman needs >= 2 items, got %d", n)
+	}
+	seenA := make([]bool, n+1)
+	seenB := make([]bool, n+1)
+	sumD2 := 0.0
+	for i := 0; i < n; i++ {
+		if a[i] < 1 || a[i] > n || seenA[a[i]] {
+			return 0, fmt.Errorf("stats: first rank vector is not a permutation of 1..%d", n)
+		}
+		if b[i] < 1 || b[i] > n || seenB[b[i]] {
+			return 0, fmt.Errorf("stats: second rank vector is not a permutation of 1..%d", n)
+		}
+		seenA[a[i]], seenB[b[i]] = true, true
+		d := float64(a[i] - b[i])
+		sumD2 += d * d
+	}
+	nf := float64(n)
+	return 1 - 6*sumD2/(nf*(nf*nf-1)), nil
+}
+
+// MeanCI95 returns the sample mean of xs with its two-sided 95%
+// confidence interval under the normal approximation: mean ±
+// 1.96*s/sqrt(n). For n == 1 the interval collapses to the point; for
+// an empty sample everything is NaN. The approximation is the
+// aggregation the assessment harness uses over hundreds of surfaces
+// per family, where n is comfortably large.
+func MeanCI95(xs []float64) (mean, lo, hi float64) {
+	n := len(xs)
+	if n == 0 {
+		nan := math.NaN()
+		return nan, nan, nan
+	}
+	mean = Mean(xs)
+	if n == 1 {
+		return mean, mean, mean
+	}
+	half := 1.96 * StdDev(xs) / math.Sqrt(float64(n))
+	return mean, mean - half, mean + half
+}

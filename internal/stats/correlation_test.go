@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpearmanRanks(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []int
+		want float64
+	}{
+		{"identity", []int{1, 2, 3, 4, 5}, []int{1, 2, 3, 4, 5}, 1},
+		{"reversal", []int{1, 2, 3, 4, 5}, []int{5, 4, 3, 2, 1}, -1},
+		{"one swap", []int{1, 2, 3, 4}, []int{2, 1, 3, 4}, 0.8},
+		{"pair", []int{1, 2}, []int{2, 1}, -1},
+	}
+	for _, c := range cases {
+		got, err := SpearmanRanks(c.a, c.b)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if !ApproxEqual(got, c.want, 1e-12) {
+			t.Errorf("%s: got %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSpearmanRanksErrors(t *testing.T) {
+	if _, err := SpearmanRanks([]int{1, 2}, []int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := SpearmanRanks([]int{1}, []int{1}); err == nil {
+		t.Error("single item accepted")
+	}
+	if _, err := SpearmanRanks([]int{1, 1}, []int{1, 2}); err == nil {
+		t.Error("duplicate rank accepted")
+	}
+	if _, err := SpearmanRanks([]int{0, 1}, []int{1, 2}); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+	if _, err := SpearmanRanks([]int{1, 2}, []int{2, 3}); err == nil {
+		t.Error("non-permutation second vector accepted")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, lo, hi := MeanCI95(nil)
+	if !math.IsNaN(mean) || !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Errorf("empty sample: got (%g, %g, %g), want NaNs", mean, lo, hi)
+	}
+	mean, lo, hi = MeanCI95([]float64{3})
+	if !ApproxEqual(mean, 3, 0) || !ApproxEqual(lo, 3, 0) || !ApproxEqual(hi, 3, 0) {
+		t.Errorf("single sample: got (%g, %g, %g)", mean, lo, hi)
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	mean, lo, hi = MeanCI95(xs)
+	if !ApproxEqual(mean, 5, 1e-12) {
+		t.Errorf("mean = %g", mean)
+	}
+	half := 1.96 * StdDev(xs) / math.Sqrt(8)
+	if !ApproxEqual(hi-mean, half, 1e-12) || !ApproxEqual(mean-lo, half, 1e-12) {
+		t.Errorf("interval (%g, %g) not symmetric half-width %g", lo, hi, half)
+	}
+	if lo >= mean || hi <= mean {
+		t.Errorf("degenerate interval (%g, %g) around %g", lo, hi, mean)
+	}
+}

@@ -55,6 +55,15 @@ func FormatFloat(v float64) string {
 	return fmt.Sprintf("%.1f", v)
 }
 
+// FormatInterval renders a point estimate with its confidence
+// interval as "0.943 [0.901, 0.972]", the cell format of the
+// methodology trust tables (Table A): three decimals keep recall and
+// correlation scores readable without implying more precision than a
+// few hundred sampled surfaces support.
+func FormatInterval(mean, lo, hi float64) string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f]", mean, lo, hi)
+}
+
 // NumRows returns the number of data rows added so far.
 func (t *Table) NumRows() int { return len(t.rows) }
 

@@ -72,3 +72,17 @@ func TestRaggedRows(t *testing.T) {
 		t.Errorf("extra column dropped:\n%s", out)
 	}
 }
+
+func TestFormatInterval(t *testing.T) {
+	cases := map[string]string{
+		FormatInterval(0.943, 0.901, 0.972): "0.943 [0.901, 0.972]",
+		FormatInterval(1, 1, 1):             "1.000 [1.000, 1.000]",
+		FormatInterval(-0.68, -0.75, -0.61): "-0.680 [-0.750, -0.610]",
+		FormatInterval(0, 0, 0):             "0.000 [0.000, 0.000]",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("FormatInterval = %q, want %q", got, want)
+		}
+	}
+}

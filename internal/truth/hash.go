@@ -1,0 +1,47 @@
+package truth
+
+import "math"
+
+// The surface noise must be a pure function of (seed, configuration):
+// hashing rather than consuming a random stream means evaluation
+// order, repetition, and parallelism cannot change any value. The
+// mixer is the same splitmix64 finalizer the runner uses for its
+// deterministic backoff jitter.
+
+// mix maps (seed, a, b) to a well-distributed 64-bit value.
+func mix(seed, a, b uint64) uint64 {
+	x := seed ^ a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// uniform maps (seed, a, b) to a float64 in [0, 1).
+func uniform(seed, a, b uint64) float64 {
+	return float64(mix(seed, a, b)>>11) / (1 << 53)
+}
+
+// gauss returns a standard-normal deviate fixed by (seed, mask) via
+// the Box-Muller transform over two hashed uniforms.
+func gauss(seed, mask uint64) float64 {
+	u1 := uniform(seed, mask, 1)
+	u2 := uniform(seed, mask, 2)
+	// Guard u1 away from 0 so the log stays finite.
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// fnv64 is the FNV-1a hash of s, used to fold family names into seeds.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

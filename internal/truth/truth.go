@@ -1,0 +1,524 @@
+// Package truth generates synthetic ground-truth response surfaces
+// with *known* answers, the raw material of the methodology-assessment
+// harness (internal/assess). The paper asserts that a Plackett-Burman
+// screen finds the bottleneck parameters; following Arnold & Loeppky
+// ("The Problem with Assessing Statistical Methods"), that claim is
+// only testable against a diverse population of surfaces where the
+// true factor importances are known by construction, including the
+// cliff-shaped responses of Zhen & Bao where single-feature
+// attribution is known to break.
+//
+// Every surface is a pure, deterministic function of its Config: the
+// same (family, factors, seed, ...) regenerates a bit-identical
+// surface, and Eval depends only on the level vector — noise included,
+// which is derived by hashing the configuration rather than by
+// consuming a stream, so evaluation order and repetition cannot change
+// any value. Each surface carries its exact importance vector
+// (computed by exhaustive enumeration of all 2^K corners of the
+// noiseless surface), the implied true ranking, and the designated
+// true critical set.
+package truth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Family names one generator of ground-truth surfaces.
+type Family string
+
+// The five surface families. Their shapes are chosen to bracket the
+// regimes the related work identifies: pure main effects (where the PB
+// screen's assumptions hold exactly), two- and three-factor
+// interactions (where PB's strength-2 orthogonality helps and then
+// catastrophically fails — see package assess), cliffs/thresholds
+// (Zhen & Bao), and monotone-saturating curves (diminishing returns,
+// the typical resource-sizing response).
+const (
+	MainEffects Family = "main-effects"
+	TwoFactor   Family = "two-factor"
+	ThreeFactor Family = "three-factor"
+	Cliff       Family = "cliff"
+	Saturating  Family = "saturating"
+)
+
+// Families returns every surface family in presentation order.
+func Families() []Family {
+	return []Family{MainEffects, TwoFactor, ThreeFactor, Cliff, Saturating}
+}
+
+// MaxFactors bounds the factor count: the exact importance vector is
+// computed by exhaustive enumeration of all 2^K corners, so K is kept
+// small enough for that to stay trivial (2^16 evaluations).
+const MaxFactors = 16
+
+// Config specifies one surface. Surfaces are value-identical functions
+// of their Config: Generate is deterministic.
+type Config struct {
+	// Family selects the surface shape.
+	Family Family
+	// Factors is K, the number of two-level factors (2..MaxFactors).
+	Factors int
+	// Critical is the number of truly important factors (1..Factors).
+	// The generator designates this many factors as the true critical
+	// set and guarantees their exact importance strictly dominates
+	// every non-critical factor's.
+	Critical int
+	// SNR is the signal-to-noise ratio: the ratio of the noiseless
+	// response's standard deviation (over the full factorial) to the
+	// additive noise's standard deviation. 0 disables noise.
+	SNR float64
+	// Seed drives every random choice the generator makes and the
+	// per-configuration noise hash.
+	Seed int64
+}
+
+// term is one polynomial term: coef * product of the listed factors'
+// levels.
+type term struct {
+	factors []int
+	coef    float64
+}
+
+// cliffTerm adds jump to the response exactly when every listed factor
+// sits at its required level — a discontinuity in the response surface.
+type cliffTerm struct {
+	factors []int
+	pattern []int8
+	jump    float64
+}
+
+// satShape is the monotone-saturating transform: the response rises as
+// scale * (1 - exp(-rate * u)) where u is the weighted count of
+// critical factors at their high level.
+type satShape struct {
+	weights []float64 // per-factor, 0 for non-participants
+	rate    float64
+	scale   float64
+}
+
+// Surface is one generated ground-truth response. The exported truth
+// fields are exact properties of the noiseless surface, not estimates.
+type Surface struct {
+	Config
+
+	linear []float64
+	terms  []term
+	cliffs []cliffTerm
+	sat    *satShape
+	sigma  float64 // noise standard deviation (0 when SNR == 0)
+
+	// Importance[j] is factor j's exact total influence: the average,
+	// over all 2^(K-1) settings of the other factors, of half the
+	// absolute response change when factor j flips — the quantity a
+	// perfect screening method would rank by. It is computed by
+	// exhaustive enumeration of the noiseless surface.
+	Importance []float64
+	// Order lists factor indices by descending Importance, ties broken
+	// by index: the true ranking.
+	Order []int
+	// Critical lists the designated truly-critical factor indices in
+	// ascending order. By construction it equals the top
+	// Config.Critical entries of Order as a set.
+	Critical []int
+}
+
+// SurfaceSeed derives the seed of the i-th sampled surface of a
+// family from a campaign seed. Sampling N surfaces per family from
+// one campaign seed this way keeps every surface independent while
+// the whole campaign stays reproducible from a single number.
+func SurfaceSeed(campaign int64, family Family, i int) int64 {
+	return int64(mix(uint64(campaign), fnv64(string(family)), uint64(i)+1))
+}
+
+// Generate builds the surface for cfg. It is deterministic: equal
+// configs yield bit-identical surfaces.
+func Generate(cfg Config) (*Surface, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	// Mix the family name into the seed so one campaign seed yields
+	// unrelated surfaces per family. The generator is explicitly
+	// seeded: the seed is a pure function of cfg.
+	rng := rand.New(rand.NewSource(int64(mix(uint64(cfg.Seed), fnv64(string(cfg.Family)), 0))))
+	s := &Surface{
+		Config: cfg,
+		linear: make([]float64, cfg.Factors),
+	}
+	critical := pickCritical(rng, cfg.Factors, cfg.Critical)
+	s.Critical = append([]int(nil), critical...)
+	sort.Ints(s.Critical)
+
+	switch cfg.Family {
+	case MainEffects:
+		buildMainEffects(s, rng, critical)
+	case TwoFactor:
+		buildTwoFactor(s, rng, critical)
+	case ThreeFactor:
+		buildThreeFactor(s, rng, critical)
+	case Cliff:
+		buildCliff(s, rng, critical)
+	case Saturating:
+		buildSaturating(s, rng, critical)
+	}
+
+	corners := s.enumerate()
+	s.Importance = influences(corners, cfg.Factors)
+	s.Order = orderByImportance(s.Importance)
+	if err := s.checkDominance(); err != nil {
+		return nil, err
+	}
+	if cfg.SNR > 0 {
+		std := populationStd(corners)
+		s.sigma = std / cfg.SNR
+	}
+	return s, nil
+}
+
+func validate(cfg Config) error {
+	known := false
+	for _, f := range Families() {
+		if f == cfg.Family {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("truth: unknown family %q", cfg.Family)
+	}
+	if cfg.Factors < 2 || cfg.Factors > MaxFactors {
+		return fmt.Errorf("truth: factors must be in 2..%d, got %d", MaxFactors, cfg.Factors)
+	}
+	if cfg.Critical < 1 || cfg.Critical >= cfg.Factors {
+		return fmt.Errorf("truth: critical must be in 1..factors-1, got %d of %d", cfg.Critical, cfg.Factors)
+	}
+	if cfg.Family == TwoFactor && cfg.Critical < 2 {
+		return fmt.Errorf("truth: family %s needs >= 2 critical factors", cfg.Family)
+	}
+	if (cfg.Family == ThreeFactor || cfg.Family == Cliff) && cfg.Critical < 3 {
+		return fmt.Errorf("truth: family %s needs >= 3 critical factors", cfg.Family)
+	}
+	if cfg.SNR < 0 {
+		return fmt.Errorf("truth: SNR must be >= 0, got %g", cfg.SNR)
+	}
+	return nil
+}
+
+// pickCritical designates the true critical subset, in the random
+// order the permutation produced (the builders use that order as the
+// effect-size spectrum's order).
+func pickCritical(rng *rand.Rand, k, c int) []int {
+	perm := rng.Perm(k)
+	return perm[:c]
+}
+
+// Effect-size scales shared by the family builders. The gap between
+// criticalFloor*... and nuisanceScale is what guarantees the declared
+// critical set dominates exactly (checkDominance enforces it).
+const (
+	mainScale     = 2.0  // largest critical main-effect magnitude
+	spectrumDecay = 0.85 // geometric decay across the critical spectrum
+	nuisanceScale = 0.02 // largest non-critical magnitude
+)
+
+// sign returns +1 or -1.
+func sign(rng *rand.Rand) float64 {
+	if rng.Intn(2) == 0 {
+		return 1
+	}
+	return -1
+}
+
+// addNuisance gives every non-critical factor a tiny linear effect so
+// non-critical columns are not exact zeros (a real simulator's
+// insignificant parameters still move the response a little).
+func addNuisance(s *Surface, rng *rand.Rand, critical []int) {
+	isCrit := make([]bool, s.Factors)
+	for _, f := range critical {
+		isCrit[f] = true
+	}
+	for j := 0; j < s.Factors; j++ {
+		if !isCrit[j] {
+			s.linear[j] = sign(rng) * nuisanceScale * (0.25 + 0.75*rng.Float64())
+		}
+	}
+}
+
+// spectrum returns the i-th critical effect magnitude: a controllable
+// geometric spectrum from mainScale down, jittered a little so ranks
+// are informative but never reordered.
+func spectrum(rng *rand.Rand, i int) float64 {
+	base := mainScale * math.Pow(spectrumDecay, float64(i))
+	return base * (0.95 + 0.05*rng.Float64())
+}
+
+// buildMainEffects: a purely additive surface — the regime where the
+// PB screen's model is exactly true.
+func buildMainEffects(s *Surface, rng *rand.Rand, critical []int) {
+	for i, f := range critical {
+		s.linear[f] = sign(rng) * spectrum(rng, i)
+	}
+	addNuisance(s, rng, critical)
+}
+
+// buildTwoFactor: critical main effects plus two-factor interactions
+// among the critical set, at roughly half the main-effect scale. A
+// base PB design aliases these interactions onto other columns; the
+// foldover cancels them.
+func buildTwoFactor(s *Surface, rng *rand.Rand, critical []int) {
+	for i, f := range critical {
+		s.linear[f] = sign(rng) * spectrum(rng, i)
+	}
+	c := len(critical)
+	for i := 0; i < c; i++ {
+		a, b := critical[i], critical[(i+1)%c]
+		if a == b {
+			continue
+		}
+		coef := sign(rng) * 0.5 * mainScale * (0.5 + 0.5*rng.Float64())
+		s.terms = append(s.terms, term{factors: []int{a, b}, coef: coef})
+	}
+	addNuisance(s, rng, critical)
+}
+
+// buildThreeFactor: the adversarial family. The first three designated
+// critical factors carry a dominant three-factor interaction and only
+// vestigial main effects; any further critical factors get ordinary
+// main effects. Because PB designs are orthogonal arrays of strength
+// two, the 3FI contributes *exactly zero* to its own participants'
+// main-effect contrasts (sum_i b_i*c_i = 0 over any PB design) while
+// leaking onto unrelated columns — so the PB screen ranks the truly
+// dominant factors last. The foldover does not help: the 3FI is an
+// odd-order term and survives mirroring.
+func buildThreeFactor(s *Surface, rng *rand.Rand, critical []int) {
+	trio := []int{critical[0], critical[1], critical[2]}
+	sort.Ints(trio)
+	coef := sign(rng) * 1.5 * mainScale * (0.9 + 0.1*rng.Float64())
+	s.terms = append(s.terms, term{factors: trio, coef: coef})
+	for _, f := range trio {
+		// Vestigial main effect, below even the nuisance scale: the
+		// trio's entire influence flows through the interaction.
+		s.linear[f] = sign(rng) * 0.25 * nuisanceScale * (0.5 + 0.5*rng.Float64())
+	}
+	for i, f := range critical[3:] {
+		s.linear[f] = sign(rng) * spectrum(rng, i)
+	}
+	addNuisance(s, rng, critical)
+}
+
+// buildCliff: a threshold surface — moderate critical main effects
+// plus a large jump that fires only when two designated critical
+// factors sit at specific levels, the Zhen & Bao cliff shape.
+func buildCliff(s *Surface, rng *rand.Rand, critical []int) {
+	pair := []int{critical[0], critical[1]}
+	sort.Ints(pair)
+	pattern := []int8{1, 1}
+	if rng.Intn(2) == 0 {
+		pattern[1] = -1
+	}
+	jump := 4 * mainScale * (0.8 + 0.2*rng.Float64())
+	s.cliffs = append(s.cliffs, cliffTerm{factors: pair, pattern: pattern, jump: jump})
+	for i, f := range critical[2:] {
+		s.linear[f] = sign(rng) * spectrum(rng, i)
+	}
+	// The cliff participants also get small own effects so the surface
+	// is not flat away from the cliff.
+	for _, f := range pair {
+		s.linear[f] = sign(rng) * 0.25 * mainScale * (0.5 + 0.5*rng.Float64())
+	}
+	addNuisance(s, rng, critical)
+}
+
+// buildSaturating: a monotone diminishing-returns curve over the
+// critical factors (the typical resource-sizing response), plus
+// nuisance linear terms.
+func buildSaturating(s *Surface, rng *rand.Rand, critical []int) {
+	sat := &satShape{
+		weights: make([]float64, s.Factors),
+		scale:   4 * mainScale,
+	}
+	totalW := 0.0
+	for i, f := range critical {
+		w := spectrum(rng, i)
+		sat.weights[f] = w
+		totalW += w
+	}
+	// Rate chosen so the surface reaches ~86% of scale with every
+	// critical factor high: saturating but with usable slope
+	// everywhere (minimum slope factor exp(-2)).
+	sat.rate = 2 / totalW
+	s.sat = sat
+	addNuisance(s, rng, critical)
+}
+
+// Eval returns the (noisy, when SNR > 0) response at the given level
+// vector. levels[j] must be -1 or +1 and len(levels) == Factors.
+// Eval is a pure function: the noise is a hash of the configuration,
+// so re-evaluating a configuration returns the identical value — like
+// re-running a deterministic simulator.
+func (s *Surface) Eval(levels []int8) float64 {
+	y := s.EvalNoiseless(levels)
+	if s.sigma > 0 {
+		y += s.sigma * gauss(uint64(s.Seed), levelMask(levels))
+	}
+	return y
+}
+
+// EvalNoiseless returns the exact surface value with the noise term
+// removed — the function the truth fields describe.
+func (s *Surface) EvalNoiseless(levels []int8) float64 {
+	y := 0.0
+	for j, coef := range s.linear {
+		y += coef * float64(levels[j])
+	}
+	for _, t := range s.terms {
+		p := t.coef
+		for _, f := range t.factors {
+			p *= float64(levels[f])
+		}
+		y += p
+	}
+	for _, c := range s.cliffs {
+		hit := true
+		for i, f := range c.factors {
+			if levels[f] != c.pattern[i] {
+				hit = false
+				break
+			}
+		}
+		if hit {
+			y += c.jump
+		}
+	}
+	if s.sat != nil {
+		u := 0.0
+		for j, w := range s.sat.weights {
+			if w > 0 && levels[j] == 1 {
+				u += w
+			}
+		}
+		y += s.sat.scale * (1 - math.Exp(-s.sat.rate*u))
+	}
+	return y
+}
+
+// Sigma returns the additive noise standard deviation implied by the
+// configured SNR (0 when noise is disabled).
+func (s *Surface) Sigma() float64 { return s.sigma }
+
+// levelMask packs a ±1 level vector into a bitmask (bit j set when
+// factor j is high). MaxFactors <= 16 keeps this in range.
+func levelMask(levels []int8) uint64 {
+	m := uint64(0)
+	for j, lv := range levels {
+		if lv > 0 {
+			m |= 1 << uint(j)
+		}
+	}
+	return m
+}
+
+// enumerate evaluates the noiseless surface at all 2^K corners,
+// indexed by level mask.
+func (s *Surface) enumerate() []float64 {
+	k := s.Factors
+	n := 1 << uint(k)
+	out := make([]float64, n)
+	levels := make([]int8, k)
+	for m := 0; m < n; m++ {
+		for j := 0; j < k; j++ {
+			if m&(1<<uint(j)) != 0 {
+				levels[j] = 1
+			} else {
+				levels[j] = -1
+			}
+		}
+		out[m] = s.EvalNoiseless(levels)
+	}
+	return out
+}
+
+// influences computes each factor's exact total influence from the
+// corner table: the mean over complementary corner pairs of half the
+// absolute response change when the factor flips. For a purely linear
+// surface this is |coefficient|; for interaction and cliff surfaces it
+// captures influence that main-effect analysis cannot see.
+func influences(corners []float64, k int) []float64 {
+	imp := make([]float64, k)
+	n := len(corners)
+	for j := 0; j < k; j++ {
+		bit := 1 << uint(j)
+		sum := 0.0
+		for m := 0; m < n; m++ {
+			if m&bit != 0 {
+				continue
+			}
+			sum += math.Abs(corners[m|bit]-corners[m]) / 2
+		}
+		imp[j] = sum / float64(n/2)
+	}
+	return imp
+}
+
+// orderByImportance returns factor indices by descending importance,
+// ties broken by index.
+func orderByImportance(imp []float64) []int {
+	order := make([]int, len(imp))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := imp[order[a]], imp[order[b]]
+		if ia > ib {
+			return true
+		}
+		if ia < ib {
+			return false
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// checkDominance enforces the generator's contract: every designated
+// critical factor's exact importance strictly exceeds every
+// non-critical factor's, so the declared critical set IS the top of
+// the true ranking.
+func (s *Surface) checkDominance() error {
+	isCrit := make([]bool, s.Factors)
+	for _, f := range s.Critical {
+		isCrit[f] = true
+	}
+	minCrit, maxOther := math.Inf(1), math.Inf(-1)
+	for j, v := range s.Importance {
+		if isCrit[j] {
+			if v < minCrit {
+				minCrit = v
+			}
+		} else if v > maxOther {
+			maxOther = v
+		}
+	}
+	if minCrit <= maxOther {
+		return fmt.Errorf("truth: generator invariant violated: weakest critical importance %g <= strongest non-critical %g (family %s seed %d)",
+			minCrit, maxOther, s.Family, s.Seed)
+	}
+	return nil
+}
+
+// populationStd is the corner table's population standard deviation —
+// the "signal" the SNR is taken against.
+func populationStd(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		m += x
+	}
+	m /= float64(len(xs))
+	v := 0.0
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,243 @@
+package truth
+
+import (
+	"math"
+	"testing"
+)
+
+// allConfigs spans every family over a spread of seeds and geometries,
+// the population the property tests quantify over.
+func allConfigs(seeds int) []Config {
+	var cfgs []Config
+	for _, fam := range Families() {
+		for seed := int64(0); seed < int64(seeds); seed++ {
+			cfgs = append(cfgs,
+				Config{Family: fam, Factors: 8, Critical: 3, SNR: 10, Seed: seed},
+				Config{Family: fam, Factors: 11, Critical: 4, SNR: 0, Seed: seed + 1000},
+			)
+		}
+	}
+	return cfgs
+}
+
+func corners(k int) [][]int8 {
+	n := 1 << uint(k)
+	out := make([][]int8, n)
+	for m := 0; m < n; m++ {
+		row := make([]int8, k)
+		for j := 0; j < k; j++ {
+			if m&(1<<uint(j)) != 0 {
+				row[j] = 1
+			} else {
+				row[j] = -1
+			}
+		}
+		out[m] = row
+	}
+	return out
+}
+
+// Property: a surface is a pure function of its Config — regenerating
+// under the same seed reproduces every corner value bit-identically,
+// noise included.
+func TestRegenerationIsBitIdentical(t *testing.T) {
+	for _, cfg := range allConfigs(4) {
+		a, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		b, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		for _, levels := range corners(cfg.Factors) {
+			va, vb := a.Eval(levels), b.Eval(levels)
+			if math.Float64bits(va) != math.Float64bits(vb) {
+				t.Fatalf("%s seed %d: corner %v differs across regeneration: %v vs %v",
+					cfg.Family, cfg.Seed, levels, va, vb)
+			}
+		}
+		// Re-evaluating the same corner on the same surface must also
+		// be bit-stable (noise is hashed, not streamed).
+		probe := corners(cfg.Factors)[1]
+		if math.Float64bits(a.Eval(probe)) != math.Float64bits(a.Eval(probe)) {
+			t.Fatalf("%s seed %d: repeated Eval differs", cfg.Family, cfg.Seed)
+		}
+	}
+}
+
+// Property: the declared truth is recoverable by exhaustive
+// evaluation. Recomputing each factor's total influence by brute force
+// over all corners of the noiseless surface must reproduce the
+// declared Importance, Order, and the dominance of the Critical set.
+func TestDeclaredRankingRecoverableByExhaustiveEvaluation(t *testing.T) {
+	for _, cfg := range allConfigs(6) {
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		k := cfg.Factors
+		cs := corners(k)
+		// Brute-force total influence, written independently of the
+		// generator's own implementation: for every corner pair
+		// differing in exactly factor j, accumulate |delta|/2.
+		imp := make([]float64, k)
+		for j := 0; j < k; j++ {
+			sum, n := 0.0, 0
+			for m, lv := range cs {
+				if lv[j] == 1 {
+					continue
+				}
+				flipped := m | (1 << uint(j))
+				sum += math.Abs(s.EvalNoiseless(cs[flipped])-s.EvalNoiseless(lv)) / 2
+				n++
+			}
+			imp[j] = sum / float64(n)
+		}
+		for j := range imp {
+			if math.Abs(imp[j]-s.Importance[j]) > 1e-12 {
+				t.Fatalf("%s seed %d: factor %d influence %g, declared %g",
+					cfg.Family, cfg.Seed, j, imp[j], s.Importance[j])
+			}
+		}
+		// The declared order must sort the recomputed influences.
+		for i := 1; i < len(s.Order); i++ {
+			if imp[s.Order[i-1]] < imp[s.Order[i]] {
+				t.Fatalf("%s seed %d: declared order not descending at %d", cfg.Family, cfg.Seed, i)
+			}
+		}
+		// The declared critical set must be exactly the top |Critical|
+		// of the true ranking.
+		top := map[int]bool{}
+		for _, f := range s.Order[:cfg.Critical] {
+			top[f] = true
+		}
+		for _, f := range s.Critical {
+			if !top[f] {
+				t.Fatalf("%s seed %d: critical factor %d not in the true top %d",
+					cfg.Family, cfg.Seed, f, cfg.Critical)
+			}
+		}
+	}
+}
+
+// Property: cliff surfaces actually contain the declared
+// discontinuity — a pair of corners differing in a single factor whose
+// response gap is at least the cliff jump, far beyond what the linear
+// terms alone could produce.
+func TestCliffSurfacesContainDiscontinuity(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		cfg := Config{Family: Cliff, Factors: 9, Critical: 3, Seed: seed}
+		s, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.cliffs) != 1 {
+			t.Fatalf("seed %d: %d cliff terms", seed, len(s.cliffs))
+		}
+		cl := s.cliffs[0]
+		if cl.jump < 2*mainScale {
+			t.Fatalf("seed %d: cliff jump %g too small to be a cliff", seed, cl.jump)
+		}
+		// Find the largest single-factor step anywhere on the surface.
+		maxStep := 0.0
+		cs := corners(cfg.Factors)
+		for m, lv := range cs {
+			for j := 0; j < cfg.Factors; j++ {
+				if lv[j] == 1 {
+					continue
+				}
+				step := math.Abs(s.EvalNoiseless(cs[m|(1<<uint(j))]) - s.EvalNoiseless(lv))
+				if step > maxStep {
+					maxStep = step
+				}
+			}
+		}
+		// Flipping a pattern factor off a matching corner steps by the
+		// full jump, offset by at most that factor's own linear term
+		// (bounded by 0.25*mainScale): the discontinuity must show
+		// through at that scale, far beyond any smooth step.
+		if floor := cl.jump - 2*0.25*mainScale; maxStep < floor {
+			t.Fatalf("seed %d: largest single-factor step %g < discontinuity floor %g (jump %g)",
+				seed, maxStep, floor, cl.jump)
+		}
+	}
+}
+
+// The noise level must realize the configured SNR: the hashed noise's
+// standard deviation over all corners should match sigma, and sigma
+// should be signalStd/SNR.
+func TestNoiseMatchesSNR(t *testing.T) {
+	cfg := Config{Family: MainEffects, Factors: 12, Critical: 4, SNR: 5, Seed: 7}
+	s, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var noise []float64
+	signal := make([]float64, 0, 1<<12)
+	for _, lv := range corners(cfg.Factors) {
+		signal = append(signal, s.EvalNoiseless(lv))
+		noise = append(noise, s.Eval(lv)-s.EvalNoiseless(lv))
+	}
+	wantSigma := populationStd(signal) / cfg.SNR
+	if math.Abs(s.Sigma()-wantSigma) > 1e-12 {
+		t.Fatalf("sigma %g, want %g", s.Sigma(), wantSigma)
+	}
+	got := populationStd(noise)
+	if got < 0.85*wantSigma || got > 1.15*wantSigma {
+		t.Fatalf("empirical noise std %g not within 15%% of sigma %g", got, wantSigma)
+	}
+	mean := 0.0
+	for _, v := range noise {
+		mean += v
+	}
+	mean /= float64(len(noise))
+	if math.Abs(mean) > 0.05*wantSigma*3 {
+		t.Fatalf("noise mean %g too far from 0 (sigma %g)", mean, wantSigma)
+	}
+}
+
+// The three-factor family is the documented PB-killer: the trio's
+// influence must flow through the interaction (vestigial main
+// effects), which strength-2 orthogonality makes invisible to a PB
+// main-effect contrast.
+func TestThreeFactorFamilyIsInteractionDominated(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		s, err := Generate(Config{Family: ThreeFactor, Factors: 9, Critical: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s.terms) != 1 || len(s.terms[0].factors) != 3 {
+			t.Fatalf("seed %d: want exactly one 3FI term", seed)
+		}
+		for _, f := range s.terms[0].factors {
+			if math.Abs(s.linear[f]) > nuisanceScale {
+				t.Fatalf("seed %d: participant %d has non-vestigial main effect %g", seed, f, s.linear[f])
+			}
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cases := []Config{
+		{Family: "nope", Factors: 8, Critical: 2},
+		{Family: MainEffects, Factors: 1, Critical: 1},
+		{Family: MainEffects, Factors: MaxFactors + 1, Critical: 2},
+		{Family: MainEffects, Factors: 8, Critical: 0},
+		{Family: MainEffects, Factors: 8, Critical: 8},
+		{Family: TwoFactor, Factors: 8, Critical: 1},
+		{Family: ThreeFactor, Factors: 8, Critical: 2},
+		{Family: Cliff, Factors: 8, Critical: 2},
+		{Family: MainEffects, Factors: 8, Critical: 2, SNR: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("%+v: want error", cfg)
+		}
+	}
+	for _, fam := range Families() {
+		if _, err := Generate(Config{Family: fam, Factors: 8, Critical: 3, Seed: 1}); err != nil {
+			t.Errorf("%s: %v", fam, err)
+		}
+	}
+}

@@ -17,6 +17,8 @@ declare -A floors=(
 	["pbsim/internal/perfbench"]=80
 	["pbsim/internal/analysis"]=80
 	["pbsim/internal/analysis/rules"]=85
+	["pbsim/internal/truth"]=85
+	["pbsim/internal/assess"]=80
 )
 
 go test -covermode=atomic -coverprofile="$profile" ./... | tee /tmp/cover-packages.txt
