@@ -22,9 +22,10 @@ vet:
 
 # pbcheck is the repository's own stdlib-only static-analysis suite
 # (see internal/analysis): determinism, nopanic, floateq, errdiscard,
-# ctxflow, hotalloc, locksafe, leakygo — interprocedural via a
-# module-wide call-graph fact fixpoint. Exit 1 means an unsuppressed
-# finding; waivers need a reasoned //pbcheck:ignore.
+# ctxflow, hotalloc, locksafe, leakygo, purity, lockflow, errflow —
+# interprocedural via a module-wide call-graph fact fixpoint, with the
+# last two flow-sensitive over a per-function CFG. Exit 1 means an
+# unsuppressed finding; waivers need a reasoned //pbcheck:ignore.
 lint:
 	$(GO) run ./cmd/pbcheck ./...
 

@@ -1,11 +1,15 @@
-// Command pbcheck runs the project's static-analysis suite: eight
+// Command pbcheck runs the project's static-analysis suite: eleven
 // analyzers enforcing the reproducibility invariants the PB
 // methodology depends on (determinism, nopanic, floateq, errdiscard,
-// ctxflow, hotalloc, locksafe, leakygo), built purely on the standard
-// library's go/parser + go/types. Analysis is interprocedural: a
-// module-wide call graph propagates nondeterminism/panic/allocation
-// facts to fixpoint before any rule runs, so a sink laundered through
-// helper calls and package boundaries is still found.
+// ctxflow, hotalloc, locksafe, leakygo, purity, lockflow, errflow),
+// built purely on the standard library's go/parser + go/types.
+// Analysis is interprocedural: a module-wide call graph propagates
+// nondeterminism/panic/allocation/write-effect facts to fixpoint
+// before any rule runs, so a sink laundered through helper calls and
+// package boundaries is still found. The purity rule additionally
+// consumes //pbcheck:pure markers, and lockflow/errflow are
+// flow-sensitive: they solve a dataflow problem over a per-function
+// CFG instead of pattern-matching statements.
 //
 // Usage:
 //
@@ -48,6 +52,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		dir        = fs.String("C", ".", "directory whose enclosing module to analyze")
 		baseline   = fs.String("baseline", "", "baseline file: findings fingerprinted there are reported but do not fail the run")
 		writeBase  = fs.String("write-baseline", "", "write the current unsuppressed findings to this baseline file and exit 0")
+		statsOut   = fs.Bool("stats", false, "append per-rule wall time and finding counts to the report (all output modes)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -84,10 +89,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	// The loader's universe includes every module dependency pulled in
 	// while type-checking the selected packages; the fact engine needs
 	// those bodies even though they are not analyzed for reporting.
-	diags, err := analysis.RunUniverse(pkgs, loader.Universe(), selected)
+	diags, stats, err := analysis.RunUniverseTimed(pkgs, loader.Universe(), selected)
 	if err != nil {
 		fmt.Fprintf(stderr, "pbcheck: %v\n", err)
 		return 2
+	}
+	if !*statsOut {
+		stats = nil
 	}
 
 	if *writeBase != "" {
@@ -109,14 +117,16 @@ func run(args []string, stdout, stderr *os.File) int {
 
 	switch {
 	case *jsonOut:
-		if err := analysis.WriteJSON(stdout, loader.Root, diags); err != nil {
+		if err := analysis.WriteJSON(stdout, loader.Root, diags, stats); err != nil {
 			fmt.Fprintf(stderr, "pbcheck: %v\n", err)
 			return 2
 		}
 	case *mdOut:
 		analysis.WriteMarkdown(stdout, loader.Root, diags)
+		analysis.WriteStatsMarkdown(stdout, stats)
 	default:
 		analysis.WritePlain(stdout, loader.Root, diags, *suppressed)
+		analysis.WriteStats(stdout, stats)
 	}
 	if analysis.Active(diags) > 0 {
 		return 1

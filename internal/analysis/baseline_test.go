@@ -4,9 +4,11 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pbsim/internal/analysis"
+	"pbsim/internal/analysis/rules"
 )
 
 func mkDiag(rule, pkg, fn, msg string, line int) analysis.Diagnostic {
@@ -55,6 +57,137 @@ func TestBaselineRoundTrip(t *testing.T) {
 	}
 	if got := analysis.Active(diags); got != 1 {
 		t.Errorf("Active = %d, want 1 (only the new finding)", got)
+	}
+}
+
+// writeModule lays out a one-package throwaway module and returns the
+// package directory.
+func writeModule(t *testing.T, src string) (root, pkgDir string) {
+	t.Helper()
+	root = t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module driftmod\n\ngo 1.21\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir = filepath.Join(root, "drift")
+	if err := os.MkdirAll(pkgDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "drift.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return root, pkgDir
+}
+
+// analyzeModule runs the full suite over the module and returns the
+// diagnostics.
+func analyzeModule(t *testing.T, root, pkgDir string) []analysis.Diagnostic {
+	t.Helper()
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{pkgDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunUniverse(pkgs, loader.Universe(), rules.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestBaselineFingerprintStability is the end-to-end drift contract,
+// exercised against real analyzer output instead of hand-built
+// diagnostics: a baseline written from one layout of the source still
+// covers the same findings after the file is reshuffled (leading
+// comments, reordered declarations — every position changes), while a
+// change to what the finding SAYS (here: renaming the callee, which
+// every errflow message quotes) escapes the baseline loudly.
+func TestBaselineFingerprintStability(t *testing.T) {
+	const v1 = `package drift
+
+import "errors"
+
+func step(i int) error {
+	if i < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// Overwrite drops the first error: one errflow finding.
+func Overwrite(a, b int) error {
+	err := step(a)
+	err = step(b)
+	return err
+}
+`
+	// Same identities, every position different: a comment banner,
+	// reordered declarations, extra vertical space.
+	const shuffled = `package drift
+
+// A wall of leading commentary
+// that shifts every declaration
+// far away from its v1 line.
+
+import "errors"
+
+// Overwrite drops the first error: one errflow finding.
+func Overwrite(a, b int) error {
+
+	err := step(a)
+
+	err = step(b)
+
+	return err
+}
+
+func step(i int) error {
+	if i < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+`
+	root, pkgDir := writeModule(t, v1)
+	before := analyzeModule(t, root, pkgDir)
+	if analysis.Active(before) == 0 {
+		t.Fatal("seed source produced no findings; the stability test needs one to track")
+	}
+	path := filepath.Join(root, "baseline.json")
+	if err := analysis.WriteBaseline(path, before); err != nil {
+		t.Fatal(err)
+	}
+	set, err := analysis.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(filepath.Join(pkgDir, "drift.go"), []byte(shuffled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	after := analyzeModule(t, root, pkgDir)
+	analysis.ApplyBaseline(after, set)
+	if n := analysis.Active(after); n != 0 {
+		t.Errorf("position shuffle escaped the baseline: %d active finding(s)", n)
+		for _, d := range after {
+			if !d.Suppressed && !d.Baselined {
+				t.Logf("  %s: %s", d.Rule, d.Message)
+			}
+		}
+	}
+
+	// Message drift: the callee rename changes what the finding says,
+	// so the old baseline must NOT cover it.
+	renamed := strings.ReplaceAll(v1, "step", "stage")
+	if err := os.WriteFile(filepath.Join(pkgDir, "drift.go"), []byte(renamed), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	drifted := analyzeModule(t, root, pkgDir)
+	analysis.ApplyBaseline(drifted, set)
+	if analysis.Active(drifted) == 0 {
+		t.Error("message change was silently absorbed by the baseline; drift must be loud")
 	}
 }
 

@@ -66,6 +66,15 @@ const (
 	// whose behaviour the engine cannot see: function values, foreign
 	// interface methods, or non-whitelisted foreign packages.
 	FactUnknownCallee
+	// FactWritesState marks functions that transitively mutate state
+	// visible outside their own frame: package-level variables (of any
+	// package), memory reached through a pointer receiver or
+	// parameter, heap aliased by a non-locally-allocated variable, or
+	// channel operations (send/close). Writes to locals — including
+	// element writes into slices and maps the function provably
+	// allocated itself (see ownedLocals) — carry no fact: they die
+	// with the frame.
+	FactWritesState
 
 	numFacts
 )
@@ -92,6 +101,16 @@ func (s *FactSet) add(f Fact) bool {
 //	func (c *Cache) Access(addr uint64) bool { ... }
 const HotpathMarker = "pbcheck:hotpath"
 
+// PureMarker is the comment marking a function the purity analyzer
+// must prove side-effect-free AND deterministic: no writes escaping
+// its frame, no ambient-state reads, and no calls the engine cannot
+// see through. It is the static form of the ground-truth contract
+// "same corner, same value, any evaluation order":
+//
+//	//pbcheck:pure
+//	func (s *Surface) Eval(levels []int8) float64 { ... }
+const PureMarker = "pbcheck:pure"
+
 // Rule names whose waivers cut fact generation. They live here rather
 // than in the rules package because the engine must honor them while
 // seeding facts, before any analyzer runs; the rules package asserts
@@ -100,6 +119,7 @@ const (
 	RuleDeterminism = "determinism"
 	RuleNoPanic     = "nopanic"
 	RuleHotAlloc    = "hotalloc"
+	RulePurity      = "purity"
 )
 
 // A calleeEdge is one resolved call-graph edge, positioned at its
@@ -119,6 +139,11 @@ type FuncInfo struct {
 	// comment's position.
 	Hot    bool
 	HotPos token.Pos
+
+	// Pure marks a //pbcheck:pure function; PurePos is the marker
+	// comment's position.
+	Pure    bool
+	PurePos token.Pos
 
 	facts FactSet
 	// why holds, per fact, the human-readable chain that established
@@ -166,9 +191,9 @@ type FactIndex struct {
 	funcs   map[*types.Func]*FuncInfo
 	ordered []*FuncInfo
 
-	// orphans are //pbcheck:hotpath markers not attached to any
-	// function declaration, keyed by package path.
-	orphans map[string][]token.Pos
+	// orphans are //pbcheck:hotpath or //pbcheck:pure markers not
+	// attached to any function declaration, keyed by package path.
+	orphans map[string][]orphanMarker
 
 	// analyzed is the set of package paths selected for reporting (as
 	// opposed to being loaded only as dependencies); rules use it to
@@ -203,9 +228,24 @@ func (x *FactIndex) Funcs(pkgPath string) []*FuncInfo {
 	return out
 }
 
-// Orphans returns the positions of hotpath markers in the package that
-// are not attached to a function declaration.
-func (x *FactIndex) Orphans(pkgPath string) []token.Pos { return x.orphans[pkgPath] }
+// An orphanMarker is a function marker comment with no function.
+type orphanMarker struct {
+	pos    token.Pos
+	marker string
+}
+
+// Orphans returns the positions of the named marker ("pbcheck:hotpath"
+// or "pbcheck:pure") in the package that are not attached to a
+// function declaration.
+func (x *FactIndex) Orphans(pkgPath, marker string) []token.Pos {
+	var out []token.Pos
+	for _, o := range x.orphans[pkgPath] {
+		if o.marker == marker {
+			out = append(out, o.pos)
+		}
+	}
+	return out
+}
 
 // IsAnalyzed reports whether the package is in the set selected for
 // reporting (not merely loaded as a dependency of one).
@@ -271,7 +311,7 @@ func (s suppressionIndex) covered(pos token.Position, rule string) bool {
 func BuildFacts(universe []*Package, known map[string]bool) *FactIndex {
 	x := &FactIndex{
 		funcs:    make(map[*types.Func]*FuncInfo),
-		orphans:  make(map[string][]token.Pos),
+		orphans:  make(map[string][]orphanMarker),
 		analyzed: make(map[string]bool),
 	}
 	b := &factBuilder{index: x, sups: make(suppressionIndex)}
@@ -336,18 +376,31 @@ func (b *factBuilder) collectTypes(pkg *Package) {
 	}
 }
 
+// markerKind classifies a comment as one of the function markers the
+// engine understands, or "".
+func markerKind(c *ast.Comment) string {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	for _, marker := range []string{HotpathMarker, PureMarker} {
+		if text == marker || strings.HasPrefix(text, marker+" ") {
+			return marker
+		}
+	}
+	return ""
+}
+
 // collectFuncs indexes the package's function declarations and their
-// hotpath markers, and records orphaned markers.
+// hotpath/pure markers, and records orphaned markers.
 func (b *factBuilder) collectFuncs(pkg *Package) {
 	for _, file := range pkg.Files {
 		// Marker comments claimed by a declaration's doc group.
 		claimed := make(map[*ast.Comment]bool)
-		var markers []*ast.Comment
+		markers := make(map[*ast.Comment]string)
+		var order []*ast.Comment
 		for _, group := range file.Comments {
 			for _, c := range group.List {
-				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-				if text == HotpathMarker || strings.HasPrefix(text, HotpathMarker+" ") {
-					markers = append(markers, c)
+				if kind := markerKind(c); kind != "" {
+					markers[c] = kind
+					order = append(order, c)
 				}
 			}
 		}
@@ -363,20 +416,23 @@ func (b *factBuilder) collectFuncs(pkg *Package) {
 			fi := &FuncInfo{Obj: obj, Decl: fd, Pkg: pkg}
 			if fd.Doc != nil {
 				for _, c := range fd.Doc.List {
-					for _, m := range markers {
-						if m == c {
-							fi.Hot, fi.HotPos = true, c.Pos()
-							claimed[c] = true
-						}
+					switch markers[c] {
+					case HotpathMarker:
+						fi.Hot, fi.HotPos = true, c.Pos()
+						claimed[c] = true
+					case PureMarker:
+						fi.Pure, fi.PurePos = true, c.Pos()
+						claimed[c] = true
 					}
 				}
 			}
 			b.index.funcs[obj] = fi
 			b.index.ordered = append(b.index.ordered, fi)
 		}
-		for _, m := range markers {
+		for _, m := range order {
 			if !claimed[m] {
-				b.index.orphans[pkg.Path] = append(b.index.orphans[pkg.Path], m.Pos())
+				b.index.orphans[pkg.Path] = append(b.index.orphans[pkg.Path],
+					orphanMarker{pos: m.Pos(), marker: markers[m]})
 			}
 		}
 	}
@@ -439,7 +495,20 @@ func (b *factBuilder) scanFunc(fi *FuncInfo) {
 		fi.setFact(FactAllocates, what)
 	}
 
+	// Write effects. Mutations inside nested function literals are
+	// attributed to the enclosing declaration, same as every other
+	// fact; the owned-locals analysis never claims a literal's own
+	// parameters, so those writes classify conservatively as escaping.
+	ws := newWriteScan(fi)
+	write := func(pos token.Pos, what string) {
+		if b.sups.covered(fset.Position(pos), RulePurity) {
+			return
+		}
+		fi.setFact(FactWritesState, what)
+	}
+
 	ast.Inspect(fi.Decl.Body, func(n ast.Node) bool {
+		ws.scanWrites(n, write)
 		switch n := n.(type) {
 		case *ast.Ident:
 			if sink, ok := nondetSink(info.Uses[n]); ok {

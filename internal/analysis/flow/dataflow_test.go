@@ -1,0 +1,242 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// setState is a power-set lattice element over small integers — the
+// same shape (finite set union) both production rules use. It doubles
+// as the monotonicity test subject.
+type setState map[int]bool
+
+func (s setState) Join(other State) State {
+	o := other.(setState)
+	out := make(setState, len(s)+len(o))
+	for k := range s {
+		out[k] = true
+	}
+	for k := range o {
+		out[k] = true
+	}
+	return out
+}
+
+func (s setState) Equal(other State) bool {
+	o := other.(setState)
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s setState) String() string {
+	keys := make([]int, 0, len(s))
+	for k := range s {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprint(k)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// genProblem is a "generated blocks reach here" forward problem: each
+// block adds its own index to the state. On a cyclic CFG the fixpoint
+// is exactly forward reachability, which makes assertions easy.
+type genProblem struct {
+	transfers int // how many Transfer calls ran (termination evidence)
+}
+
+func (p *genProblem) Boundary() State { return setState{} }
+func (p *genProblem) Bottom() State   { return setState{} }
+func (p *genProblem) Backward() bool  { return false }
+func (p *genProblem) Transfer(b *Block, in State) State {
+	p.transfers++
+	out := in.Join(setState{b.Index: true}).(setState)
+	return out
+}
+
+func TestSolveTerminatesOnLoops(t *testing.T) {
+	// Nested loops plus a goto back edge: the graph is as cyclic as
+	// real code gets. The solver must reach a fixpoint in a bounded
+	// number of transfer evaluations.
+	g := buildFunc(t, `
+i := 0
+loop:
+	for ; i < 10; i++ {
+		for j := 0; j < i; j++ {
+			if j == 3 {
+				continue loop
+			}
+		}
+	}
+	if i < 20 {
+		goto loop
+	}`)
+	p := &genProblem{}
+	res := Solve(g, p)
+
+	// Termination with a sane bound: each block can be re-evaluated at
+	// most once per lattice growth, and the lattice height is the
+	// block count — so transfers must stay well under |B|^2.
+	bound := len(g.Blocks) * len(g.Blocks)
+	if p.transfers == 0 || p.transfers > bound {
+		t.Fatalf("solver ran %d transfers on %d blocks (bound %d): did not terminate cleanly",
+			p.transfers, len(g.Blocks), bound)
+	}
+
+	// Fixpoint check: every block's Out must equal Transfer(In) and
+	// every edge must satisfy In(succ) >= Out(pred).
+	check := &genProblem{}
+	for _, b := range g.Blocks {
+		if out := check.Transfer(b, res.In[b]); !res.Out[b].Equal(out) {
+			t.Errorf("b%d: Out is not Transfer(In): %v vs %v", b.Index, res.Out[b], out)
+		}
+		for _, s := range b.Succs {
+			joined := res.In[s].Join(res.Out[b])
+			if !joined.Equal(res.In[s]) {
+				t.Errorf("edge b%d->b%d: In(succ) does not absorb Out(pred): %v vs %v",
+					b.Index, s.Index, res.In[s], res.Out[b])
+			}
+		}
+	}
+
+	// The exit's In must contain every block on some entry-to-exit
+	// path — in particular the loop bodies.
+	exitIn := res.In[g.Exit].(setState)
+	for _, b := range g.Blocks {
+		if b.Kind == "for.body" && !exitIn[b.Index] {
+			t.Errorf("loop body b%d missing from exit state %v", b.Index, exitIn)
+		}
+	}
+}
+
+func TestSolveUnreachableStaysBottom(t *testing.T) {
+	g := buildFunc(t, "return\n_ = 1")
+	p := &genProblem{}
+	res := Solve(g, p)
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" {
+			if got := res.In[b].(setState); len(got) != 0 {
+				t.Errorf("unreachable block b%d has non-bottom in-state %v", b.Index, got)
+			}
+		}
+	}
+}
+
+func TestSolveBackward(t *testing.T) {
+	// Backward "reaches exit" analysis: walking from Exit against the
+	// edges, the entry must accumulate exit-side blocks.
+	g := buildFunc(t, `
+if true {
+	return
+}
+_ = 1`)
+	p := &backProblem{}
+	res := Solve(g, p)
+	entryIn := res.In[g.Entry].(setState)
+	if !entryIn[g.Exit.Index] {
+		t.Errorf("backward solve: entry does not see exit: %v", entryIn)
+	}
+}
+
+type backProblem struct{}
+
+func (p *backProblem) Boundary() State { return setState{} }
+func (p *backProblem) Bottom() State   { return setState{} }
+func (p *backProblem) Backward() bool  { return true }
+func (p *backProblem) Transfer(b *Block, in State) State {
+	return in.Join(setState{b.Index: true})
+}
+
+// TestJoinMonotonicity pins the lattice laws the solver's termination
+// argument rests on: Join is idempotent, commutative, associative,
+// and monotone (a <= a ⊔ b), checked over a seeded family of states.
+func TestJoinMonotonicity(t *testing.T) {
+	mk := func(xs ...int) setState {
+		s := make(setState)
+		for _, x := range xs {
+			s[x] = true
+		}
+		return s
+	}
+	states := []setState{mk(), mk(1), mk(2), mk(1, 2), mk(3, 4), mk(1, 2, 3, 4)}
+	leq := func(a, b setState) bool { return b.Join(a).Equal(b) }
+
+	for _, a := range states {
+		if !a.Join(a).Equal(a) {
+			t.Errorf("join not idempotent at %v", a)
+		}
+		for _, b := range states {
+			ab := a.Join(b)
+			if !ab.Equal(b.Join(a)) {
+				t.Errorf("join not commutative at %v, %v", a, b)
+			}
+			if !leq(a, ab.(setState)) || !leq(b, ab.(setState)) {
+				t.Errorf("join not an upper bound at %v, %v", a, b)
+			}
+			for _, c := range states {
+				if !a.Join(b).Join(c).Equal(a.Join(b.Join(c))) {
+					t.Errorf("join not associative at %v, %v, %v", a, b, c)
+				}
+			}
+		}
+	}
+
+	// Transfer monotonicity for the test problem: in1 <= in2 implies
+	// Transfer(in1) <= Transfer(in2) on every block of a seeded CFG.
+	g := buildFunc(t, "for i := 0; i < 3; i++ {\n\t_ = i\n}")
+	p := &genProblem{}
+	for _, b := range g.Blocks {
+		for _, a := range states {
+			for _, c := range states {
+				if !leq(a, c) {
+					continue
+				}
+				ta := p.Transfer(b, a).(setState)
+				tc := p.Transfer(b, c).(setState)
+				if !leq(ta, tc) {
+					t.Errorf("transfer not monotone on b%d: %v <= %v but %v !<= %v",
+						b.Index, a, c, ta, tc)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveDeterministic pins that two solves of the same problem over
+// the same graph yield identical states — the solver must not depend
+// on map iteration order.
+func TestSolveDeterministic(t *testing.T) {
+	body := `
+x := 0
+for i := 0; i < 4; i++ {
+	switch {
+	case i == 1:
+		x = 1
+	case i == 2:
+		continue
+	default:
+		x = 3
+	}
+}
+_ = x`
+	g := buildFunc(t, body)
+	r1 := Solve(g, &genProblem{})
+	r2 := Solve(g, &genProblem{})
+	for _, b := range g.Blocks {
+		if !r1.In[b].Equal(r2.In[b]) || !r1.Out[b].Equal(r2.Out[b]) {
+			t.Errorf("b%d states differ across solves", b.Index)
+		}
+	}
+}

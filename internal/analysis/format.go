@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // RelPosition rewrites an absolute diagnostic filename relative to
@@ -63,20 +64,79 @@ type jsonDiagnostic struct {
 	Baselined  bool   `json:"baselined,omitempty"`
 }
 
+// millis converts a duration to fractional milliseconds, the unit
+// both stats renderings use.
+func millis(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// WriteStats renders the -stats table in plain text: fact-build time
+// first, then each rule's wall time and finding count in suite order
+// (timing is nondeterministic; everything else on the row is not).
+func WriteStats(w io.Writer, stats *RunStats) {
+	if stats == nil {
+		return
+	}
+	fmt.Fprintf(w, "fact build: %.1fms\n", millis(stats.FactBuild))
+	for _, rs := range stats.Rules {
+		fmt.Fprintf(w, "%-12s %8.1fms  %d finding(s)\n", rs.Rule, millis(rs.Time), rs.Findings)
+	}
+}
+
+// WriteStatsMarkdown renders the -stats table for a CI step summary.
+func WriteStatsMarkdown(w io.Writer, stats *RunStats) {
+	if stats == nil {
+		return
+	}
+	fmt.Fprintf(w, "\n### pbcheck timing\n\n")
+	fmt.Fprintf(w, "fact build: %.1fms\n\n", millis(stats.FactBuild))
+	fmt.Fprintf(w, "| Rule | Time | Findings |\n|---|---:|---:|\n")
+	for _, rs := range stats.Rules {
+		fmt.Fprintf(w, "| %s | %.1fms | %d |\n", rs.Rule, millis(rs.Time), rs.Findings)
+	}
+}
+
+// jsonRuleStat is the wire form of one analyzer's timing row.
+type jsonRuleStat struct {
+	Rule     string  `json:"rule"`
+	Millis   float64 `json:"ms"`
+	Findings int     `json:"findings"`
+}
+
+// jsonStats is the optional "stats" member of the -json document.
+type jsonStats struct {
+	FactBuildMillis float64        `json:"fact_build_ms"`
+	Rules           []jsonRuleStat `json:"rules"`
+}
+
 // jsonReport is the top-level -json document: the findings plus the
-// counts CI dashboards need without re-deriving them.
+// counts CI dashboards need without re-deriving them. Stats appears
+// only under -stats.
 type jsonReport struct {
 	Findings   int              `json:"findings"`
 	Suppressed int              `json:"suppressed"`
 	Baselined  int              `json:"baselined"`
 	Diags      []jsonDiagnostic `json:"diagnostics"`
+	Stats      *jsonStats       `json:"stats,omitempty"`
 }
 
 // WriteJSON emits every diagnostic — suppressed and baselined ones
 // included and marked, so the CI artifact records the full waiver
-// ledger — as one indented JSON document.
-func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+// ledger — as one indented JSON document. A non-nil stats adds the
+// per-rule timing block.
+func WriteJSON(w io.Writer, root string, diags []Diagnostic, stats *RunStats) error {
 	report := jsonReport{Diags: []jsonDiagnostic{}}
+	if stats != nil {
+		js := &jsonStats{FactBuildMillis: millis(stats.FactBuild)}
+		for _, rs := range stats.Rules {
+			js.Rules = append(js.Rules, jsonRuleStat{
+				Rule:     rs.Rule,
+				Millis:   millis(rs.Time),
+				Findings: rs.Findings,
+			})
+		}
+		report.Stats = js
+	}
 	for _, d := range diags {
 		switch {
 		case d.Suppressed:

@@ -43,7 +43,7 @@ func TestDeterministicOrdering(t *testing.T) {
 		}
 		var plain, js bytes.Buffer
 		analysis.WritePlain(&plain, loader.Root, diags, true)
-		if err := analysis.WriteJSON(&js, loader.Root, diags); err != nil {
+		if err := analysis.WriteJSON(&js, loader.Root, diags, nil); err != nil {
 			t.Fatal(err)
 		}
 		return plain.String(), js.String()

@@ -43,7 +43,7 @@ func runHotAlloc(pass *analysis.Pass) {
 				fi.DisplayName(), fi.Why(analysis.FactUnknownCallee))
 		}
 	}
-	for _, pos := range pass.Facts.Orphans(pass.Path()) {
+	for _, pos := range pass.Facts.Orphans(pass.Path(), analysis.HotpathMarker) {
 		pass.Reportf(pos, "//pbcheck:hotpath is not attached to a function declaration; put it in the function's doc comment")
 	}
 }

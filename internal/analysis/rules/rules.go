@@ -25,6 +25,9 @@ func All() []*analysis.Analyzer {
 		HotAlloc,
 		LockSafe,
 		LeakyGo,
+		Purity,
+		LockFlow,
+		ErrFlow,
 	}
 }
 
@@ -36,6 +39,7 @@ func init() {
 		analysis.RuleDeterminism: Determinism,
 		analysis.RuleNoPanic:     NoPanic,
 		analysis.RuleHotAlloc:    HotAlloc,
+		analysis.RulePurity:      Purity,
 	} {
 		if a.Name != name {
 			//pbcheck:ignore nopanic init-time invariant on our own constants; unreachable unless a rule is renamed without updating the engine

@@ -87,10 +87,13 @@ func TestGolden(t *testing.T) {
 		{"hotalloc", "hotalloc"},
 		{"locksafe", "locksafe"},
 		{"leakygo", "leakygo"},
+		{"purity", "purity"},
+		{"lockflow", "lockflow"},
+		{"errflow", "errflow"},
 		// The interprocedural golden: only facts/sim is analyzed; flow
 		// and clock enter the universe as dependencies, so every
 		// finding crosses at least one package boundary.
-		{"facts/sim", "determinism,nopanic,hotalloc"},
+		{"facts/sim", "determinism,nopanic,hotalloc,purity"},
 	}
 	for _, tc := range cases {
 		t.Run(strings.ReplaceAll(tc.dir, "/", "_"), func(t *testing.T) {

@@ -1,0 +1,108 @@
+// Package errflow seeds the two path-sensitive error defects — an
+// error overwritten before any check, an error abandoned on one path
+// — plus the checked, captured, and aliased shapes that must stay
+// silent.
+package errflow
+
+import "errors"
+
+func step(i int) error {
+	if i < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+func fetch() (int, error) { return 0, nil }
+
+func record(*error) {}
+
+// Overwrite assigns a second error before anything reads the first:
+// the first failure is silently replaced. Reported at the first
+// assignment.
+func Overwrite(a, b int) error {
+	err := step(a)
+	err = step(b)
+	return err
+}
+
+// AbandonedBranch reads the error when flush is true and forgets it on
+// the other path. Reported at the assignment.
+func AbandonedBranch(flush bool) error {
+	err := step(1)
+	if flush {
+		return err
+	}
+	return nil
+}
+
+// Checked is the canonical clean shape: every error meets a check
+// before the next assignment.
+func Checked() error {
+	if err := step(1); err != nil {
+		return err
+	}
+	v, err := fetch()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// LoopLastWins keeps only the final iteration's error: every earlier
+// failure is overwritten unchecked across the back edge.
+func LoopLastWins(xs []int) error {
+	var err error
+	for _, x := range xs {
+		err = step(x)
+	}
+	return err
+}
+
+// RetryChecked checks inside the loop before the next assignment:
+// clean.
+func RetryChecked() error {
+	var err error
+	for i := 0; i < 3; i++ {
+		err = step(i)
+		if err == nil {
+			break
+		}
+	}
+	return err
+}
+
+// CapturedEscapes hands the variable to a deferred closure; an alias
+// may read it at any time, so tracking is disabled: clean.
+func CapturedEscapes() error {
+	err := step(1)
+	defer func() { _ = err }()
+	err = step(2)
+	return err
+}
+
+// AddressTaken likewise escapes through a pointer: clean.
+func AddressTaken() error {
+	err := step(1)
+	record(&err)
+	err = step(2)
+	return err
+}
+
+// NamedOverwrite overwrites a named result on one branch before any
+// check. Reported at the first assignment.
+func NamedOverwrite(deep bool) (err error) {
+	err = step(1)
+	if deep {
+		err = step(2)
+	}
+	return
+}
+
+// BlankDiscard is an explicit discard: the blank identifier is never
+// tracked, even though go/types gives it a Defs object.
+func BlankDiscard() int {
+	v, _ := fetch()
+	return v
+}

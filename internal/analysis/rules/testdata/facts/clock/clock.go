@@ -25,3 +25,12 @@ func Alloc(n int) []int {
 func Pure(a, b int) int {
 	return a + b
 }
+
+// State is the package-level variable Mutate writes: the write-effect
+// sink of the propagation chain.
+var State int
+
+// Mutate writes package state.
+func Mutate() {
+	State = 7
+}

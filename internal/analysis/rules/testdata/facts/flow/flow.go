@@ -24,3 +24,8 @@ func Allocates() []int {
 func Pure(a int) int {
 	return clock.Pure(a, a)
 }
+
+// Touch launders clock's package-state write through one boundary.
+func Touch() {
+	clock.Mutate()
+}

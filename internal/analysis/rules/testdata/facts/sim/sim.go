@@ -32,3 +32,19 @@ func Hot() []int {
 func Clean(a int) int {
 	return flow.Pure(a)
 }
+
+// PureCaller claims purity but reaches the wall clock two hops and
+// one package boundary away: the finding must name every hop.
+//
+//pbcheck:pure
+func PureCaller() int64 {
+	return flow.Helper()
+}
+
+// PureMut claims purity but reaches a package-state write the same
+// way.
+//
+//pbcheck:pure
+func PureMut() {
+	flow.Touch()
+}

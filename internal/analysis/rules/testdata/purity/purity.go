@@ -1,0 +1,102 @@
+// Package purity seeds one violation of each purity proof obligation
+// plus the clean shapes that must stay silent: owned-allocation
+// helpers, value receivers, and a reviewed waiver.
+package purity
+
+import (
+	"sort"
+	"time"
+)
+
+var counter int
+
+// Add computes from its arguments alone: provably pure.
+//
+//pbcheck:pure
+func Add(a, b int) int { return a + b }
+
+// Sum reads a caller slice and folds into a local: reads are free,
+// still pure.
+//
+//pbcheck:pure
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Doubled fills and returns a slice it allocated itself: owned writes
+// carry no effect.
+//
+//pbcheck:pure
+func Doubled(xs []int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = 2 * x
+	}
+	return out
+}
+
+// Pt carries the receiver cases.
+type Pt struct{ X, Y int }
+
+// Norm2 reads through a value receiver: pure.
+//
+//pbcheck:pure
+func (p Pt) Norm2() int { return p.X*p.X + p.Y*p.Y }
+
+// Scale writes through its pointer receiver: the claim is false.
+//
+//pbcheck:pure
+func (p *Pt) Scale(k int) {
+	p.X *= k
+	p.Y *= k
+}
+
+// Bump mutates package state directly.
+//
+//pbcheck:pure
+func Bump() int {
+	counter++
+	return counter
+}
+
+// hidden is unmarked; CallsHidden reaches its write one hop away, so
+// the finding must carry the chain.
+func hidden() { counter = 0 }
+
+// CallsHidden claims purity over an impure callee.
+//
+//pbcheck:pure
+func CallsHidden() { hidden() }
+
+// Stamp reads the wall clock: pure functions compute from arguments
+// alone.
+//
+//pbcheck:pure
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Sorts calls foreign code the engine cannot see through: the claim
+// cannot be proved.
+//
+//pbcheck:pure
+func Sorts(xs []int) {
+	sort.Ints(xs)
+}
+
+// Seeded carries a reviewed waiver on its write: the waiver cuts the
+// fact, so the marker holds.
+//
+//pbcheck:pure
+func Seeded() int {
+	//pbcheck:ignore purity test fixture: reviewed benign write
+	counter = 1
+	return counter
+}
+
+// The marker below is attached to a variable, not a function: orphan.
+//
+//pbcheck:pure
+var sink int

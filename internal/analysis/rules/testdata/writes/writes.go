@@ -1,0 +1,117 @@
+// Package writes is the unit-test battery for the write-effect fact:
+// each function isolates one classification the engine must get
+// right. The facts test asserts presence/absence of FactWritesState
+// and the exact why-string per function.
+package writes
+
+var global int
+
+var registry = map[string]int{}
+
+// WritesGlobal assigns a package-level variable: always an effect.
+func WritesGlobal() { global = 1 }
+
+// IncrGlobal mutates a package-level variable through ++.
+func IncrGlobal() { global++ }
+
+// DeletesGlobalMap mutates package-level map state via a builtin.
+func DeletesGlobalMap() { delete(registry, "k") }
+
+// S carries the receiver-write cases.
+type S struct {
+	n int
+	m map[string]int
+}
+
+// SetN writes through a pointer receiver: caller-visible.
+func (s *S) SetN(v int) { s.n = v }
+
+// ValueRecv writes a field of a VALUE receiver: the copy dies with
+// the frame, no effect.
+func (s S) ValueRecv() int { s.n = 1; return s.n }
+
+// MutatesRecvMap writes an element of a map reached through the
+// receiver: indirect, caller-visible.
+func (s *S) MutatesRecvMap() { s.m["k"] = 1 }
+
+// WritesParam writes through a pointer parameter.
+func WritesParam(p *int) { *p = 1 }
+
+// WritesSliceParam writes an element of a caller-owned slice.
+func WritesSliceParam(in []int) { in[0] = 1 }
+
+// AliasesParam copies a parameter slice into a local first; the local
+// still aliases caller memory, so the element write is an effect.
+func AliasesParam(in []int) { xs := in; xs[0] = 1 }
+
+// ShadowsParam rebinds the PARAMETER VARIABLE to an owned slice —
+// but a variable ever assigned caller memory is never owned, so the
+// engine conservatively keeps the effect.
+func ShadowsParam(in []int) { in = make([]int, 1); in[0] = 1; _ = in }
+
+// OwnedSlice builds, fills, and returns its own slice: no effect.
+func OwnedSlice() []int {
+	xs := make([]int, 4)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+// OwnedMap exercises composite-literal ownership plus delete on owned
+// memory: no effect.
+func OwnedMap() map[string]int {
+	m := map[string]int{}
+	m["a"] = 1
+	delete(m, "a")
+	return m
+}
+
+// AppendOwned exercises the zero-value + append(owned) ownership
+// chain: no effect.
+func AppendOwned() []int {
+	var xs []int
+	xs = append(xs, 1, 2)
+	xs[0] = 9
+	return xs
+}
+
+// SliceOfOwned exercises ownership through a reslice: no effect.
+func SliceOfOwned() []int {
+	xs := make([]int, 8)
+	ys := xs[2:4]
+	ys[0] = 1
+	return ys
+}
+
+// SendsOnParam sends on a caller-supplied channel: observable by any
+// goroutine holding it.
+func SendsOnParam(ch chan int) { ch <- 1 }
+
+// ClosesParam closes a caller-supplied channel.
+func ClosesParam(ch chan int) { close(ch) }
+
+// OwnedChan sends on and closes a channel it made itself: no effect.
+func OwnedChan() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// CallsWriter has no local writes but reaches one through a call: the
+// fact must propagate with a named chain.
+func CallsWriter() { WritesGlobal() }
+
+// PureLocal does arithmetic on locals only.
+func PureLocal(x int) int {
+	y := x + 1
+	y++
+	return y
+}
+
+// WaivedWrite carries a reviewed purity waiver on its global write,
+// which must cut fact generation entirely.
+func WaivedWrite() {
+	//pbcheck:ignore purity test fixture: reviewed global write
+	global = 2
+}

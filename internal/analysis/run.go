@@ -3,7 +3,26 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"time"
 )
+
+// A RuleStat is one analyzer's cost/yield summary for a run: total
+// wall time across all analyzed packages and how many diagnostics it
+// produced (suppressed and baselined ones included — the cost of a
+// rule is the cost of everything it finds, waived or not).
+type RuleStat struct {
+	Rule     string
+	Time     time.Duration
+	Findings int
+}
+
+// RunStats is the -stats payload: where a pbcheck run spent its time.
+// FactBuild covers phase 1 (call graph + fixpoint over the universe);
+// Rules lists every analyzer in suite order.
+type RunStats struct {
+	FactBuild time.Duration
+	Rules     []RuleStat
+}
 
 // Run executes every analyzer over every package with a fact universe
 // limited to the packages themselves. Callers holding a Loader should
@@ -27,16 +46,26 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // does not compile are unreliable, and the repo's tier-1 gate
 // guarantees compilable input anyway.
 func RunUniverse(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunUniverseTimed(pkgs, universe, analyzers)
+	return diags, err
+}
+
+// RunUniverseTimed is RunUniverse plus per-phase timing: the returned
+// RunStats carries the fact-build duration and each analyzer's wall
+// time and diagnostic count, in suite order. The diagnostics are
+// byte-identical to RunUniverse's — timing observes the run, it never
+// alters it.
+func RunUniverseTimed(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagnostic, *RunStats, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		if a.Name == IgnoreRule {
-			return nil, fmt.Errorf("analysis: rule name %q is reserved", IgnoreRule)
+			return nil, nil, fmt.Errorf("analysis: rule name %q is reserved", IgnoreRule)
 		}
 		known[a.Name] = true
 	}
 	for _, pkg := range pkgs {
 		if len(pkg.TypeErrors) > 0 {
-			return nil, fmt.Errorf("analysis: %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+			return nil, nil, fmt.Errorf("analysis: %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
 		}
 	}
 
@@ -45,7 +74,7 @@ func RunUniverse(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagnostic
 	// when the corresponding analyzer was deselected, so a reasoned
 	// waiver keeps cutting fact generation under -rules subsets.
 	factKnown := map[string]bool{
-		RuleDeterminism: true, RuleNoPanic: true, RuleHotAlloc: true,
+		RuleDeterminism: true, RuleNoPanic: true, RuleHotAlloc: true, RulePurity: true,
 	}
 	for name := range known {
 		factKnown[name] = true
@@ -59,12 +88,17 @@ func RunUniverse(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagnostic
 		seen[pkg.Path] = true
 		all = append(all, pkg)
 	}
+	factStart := time.Now()
 	facts := BuildFacts(all, factKnown)
+	stats := &RunStats{FactBuild: time.Since(factStart)}
 	for _, pkg := range pkgs {
 		facts.analyzed[pkg.Path] = true
 	}
 
-	// Phase 2: analyzers with fact access.
+	// Phase 2: analyzers with fact access, timed per rule across all
+	// packages.
+	ruleTime := make(map[string]time.Duration, len(analyzers))
+	ruleCount := make(map[string]int, len(analyzers))
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		sups, supDiags := scanSuppressions(pkg, known)
@@ -72,12 +106,23 @@ func RunUniverse(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagnostic
 		diags = append(diags, supDiags...)
 		for _, a := range analyzers {
 			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, sink: &diags}
+			before := len(diags)
+			t0 := time.Now()
 			a.Run(pass)
+			ruleTime[a.Name] += time.Since(t0)
+			ruleCount[a.Name] += len(diags) - before
 		}
 		applySuppressions(diags[start:], sups)
 	}
+	for _, a := range analyzers {
+		stats.Rules = append(stats.Rules, RuleStat{
+			Rule:     a.Name,
+			Time:     ruleTime[a.Name],
+			Findings: ruleCount[a.Name],
+		})
+	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].sortKey() < diags[j].sortKey() })
-	return diags, nil
+	return diags, stats, nil
 }
 
 // Active counts the diagnostics that are neither suppressed nor

