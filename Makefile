@@ -10,7 +10,7 @@ BENCHTIME ?= 2x
 BENCHCOUNT ?= 5
 BENCHFLAGS = -run='^$$' -bench=. -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) .
 
-.PHONY: all build vet lint lint-new lint-baseline test race short bench bench-baseline bench-check check cover chaos assess
+.PHONY: all build vet fmt-check lint lint-new lint-baseline test race short bench bench-baseline bench-check check cover chaos assess frontier
 
 all: check
 
@@ -19,6 +19,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the offenders) when any file diverges from
+# gofmt; it never rewrites anything, so it is safe as a CI gate.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # pbcheck is the repository's own stdlib-only static-analysis suite
 # (see internal/analysis): determinism, nopanic, floateq, errdiscard,
@@ -89,6 +94,24 @@ bench-check: bench
 cover:
 	bash scripts/cover.sh coverage.out
 
+# frontier measures the accuracy-vs-speed frontier of sampled
+# simulation at full Table 9 scale (13 benchmarks, 88 configurations,
+# 100k instructions/run): full suite as ground truth, then each
+# estimator with the tuned sampling spec. pbfrontier exits non-zero
+# when any estimator's Spearman rank correlation against the full
+# ordering falls below 0.95, which is the CI gate. Artifacts (text,
+# JSON, markdown step summary, perfbench trajectory) land in
+# $(FRONTIER_ARTIFACTS).
+FRONTIER_ARTIFACTS ?= out/frontier
+FRONTIER_FLAGS ?= -n 100000 -warmup 30000 -region 2000 -frac 0.08 -func-warmup 24000 -seed 1
+frontier:
+	mkdir -p $(FRONTIER_ARTIFACTS)
+	$(GO) run ./cmd/pbfrontier $(FRONTIER_FLAGS) \
+		-json-out $(FRONTIER_ARTIFACTS)/frontier.json \
+		-md-out $(FRONTIER_ARTIFACTS)/frontier.md \
+		-bench-out $(FRONTIER_ARTIFACTS)/BENCH_frontier.json \
+		| tee $(FRONTIER_ARTIFACTS)/frontier.txt
+
 # assess runs the methodology shoot-out: PB, foldover PB,
 # one-at-a-time, and the full factorial screened against synthetic
 # ground-truth surfaces, scored for rank recovery and critical-set
@@ -101,4 +124,4 @@ assess:
 	mkdir -p $(ASSESS_ARTIFACTS)
 	$(GO) run ./cmd/pbassess $(ASSESS_FLAGS) -json-out $(ASSESS_ARTIFACTS)/trust.json | tee $(ASSESS_ARTIFACTS)/trust.txt
 
-check: build vet lint lint-new race
+check: build vet fmt-check lint lint-new race

@@ -20,8 +20,20 @@
 //	pbrank [-n 100000] [-warmup 30000] [-benchmarks gzip,mcf,...]
 //	       [-timeout 0] [-retries 0] [-checkpoint suite.jsonl]
 //	       [-workers 4] [-shard-dir campaign/] [-shard-sync]
+//	       [-sample uniform] [-sample-region 1000] [-sample-frac 0.1]
+//	       [-sample-warmup -1] [-sample-func-warmup -1] [-sample-seed 1]
 //	       [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
 //	       [-compare] [-gap]
+//
+// Sampled mode (-sample) replaces each full measurement with a
+// region-sampled estimate (internal/sampling): every configuration
+// detail-simulates only a seeded, deterministic subset of the measured
+// window, cutting detailed instructions by roughly 1/-sample-frac
+// while preserving the Table 9 ordering (the pbfrontier tool gates
+// exactly that). The sampling spec is part of the experiment
+// fingerprint and of distributed campaign manifests, so checkpoints
+// never mix sampled and full rows and pbworker processes reconstruct
+// the identical schedule.
 //
 // Distributed mode (-workers / -shard-dir) runs the campaign through
 // the crash-safe execution layer: workers claim configuration ×
@@ -52,6 +64,7 @@ import (
 	"pbsim/internal/report"
 	"pbsim/internal/runner"
 	"pbsim/internal/runner/dist"
+	"pbsim/internal/sampling"
 	"pbsim/internal/workload"
 )
 
@@ -77,6 +90,7 @@ func run() (err error) {
 	workers := flag.Int("workers", 0, "run the campaign through N crash-safe in-process workers (distributed mode)")
 	shardDir := flag.String("shard-dir", "", "campaign directory for distributed mode; share it with pbworker processes to scale out, rerun with it to resume")
 	shardSync := flag.Bool("shard-sync", false, "fsync shard ledgers after every commit in distributed mode")
+	sampleFlags := sampling.RegisterFlags(flag.CommandLine)
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "pbrank")
 	flag.Parse()
 
@@ -93,6 +107,10 @@ func run() (err error) {
 	if err != nil {
 		return obs.Usagef("%v", err)
 	}
+	sampleSpec, err := sampleFlags()
+	if err != nil {
+		return obs.Usagef("%v", err)
+	}
 	opts := experiment.Options{
 		Instructions: *n,
 		Warmup:       *warmup,
@@ -103,6 +121,7 @@ func run() (err error) {
 		Retries:      *retries,
 		Checkpoint:   *checkpoint,
 		Recorder:     sess.Recorder(),
+		Sampling:     sampleSpec,
 	}
 	if *verbose {
 		opts.OnRetry = func(scope string, row, attempt int, delay time.Duration, err error) {
@@ -129,9 +148,12 @@ func run() (err error) {
 		}
 		return err
 	}
-	fmt.Println(report.RankTable(suite,
-		fmt.Sprintf("Table 9: Plackett and Burman Design Results (X=%d foldover, %d configurations, %d instructions/run)",
-			suite.Design.X, suite.Design.Runs(), *n)))
+	title := fmt.Sprintf("Table 9: Plackett and Burman Design Results (X=%d foldover, %d configurations, %d instructions/run)",
+		suite.Design.X, suite.Design.Runs(), *n)
+	if sampleSpec != nil {
+		title += fmt.Sprintf("\nsampled responses: %s", sampleSpec)
+	}
+	fmt.Println(report.RankTable(suite, title))
 	if *compare {
 		fmt.Println(report.RankTableWithPaper(suite, paperdata.Table9,
 			"Measured ordering vs the paper's published Table 9"))

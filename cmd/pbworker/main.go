@@ -15,6 +15,12 @@
 // or flag-skewed worker refuses to join rather than committing rows
 // computed under different budgets.
 //
+// Sampled campaigns need no extra flags here: when pbrank created the
+// campaign with -sample, the manifest's spec carries the canonical
+// sampling parameters, the worker rebuilds the identical deterministic
+// region schedule from them, and the fingerprint check refuses any
+// worker whose reconstruction would not be bit-identical.
+//
 // Usage:
 //
 //	pbworker -dir campaign/ [-id worker-name] [-ttl 10s] [-poll 0]

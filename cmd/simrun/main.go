@@ -16,7 +16,16 @@
 //	       [-config default|all-low|all-high] [-precompute 0]
 //	       [-timeout 0] [-retries 0] [-checkpoint simrun.jsonl]
 //	       [-workers 4] [-shard-dir campaign/] [-shard-sync]
+//	       [-sample uniform] [-sample-region 1000] [-sample-frac 0.1]
 //	       [-metrics run.jsonl] [-progress] [-debug-addr localhost:6060]
+//
+// Sampled mode (-sample, with the -sample-* family) detail-simulates
+// only a seeded subset of each benchmark's measured window
+// (internal/sampling) and reports the extrapolated cycle count with
+// its 95% confidence interval and the detailed-instruction reduction,
+// instead of the full statistics report. It is sequential-only and
+// mutually exclusive with -precompute (sampling measures the base
+// pipeline, not an enhanced one).
 //
 // Distributed mode (-workers / -shard-dir) evaluates the benchmark
 // list through the crash-safe execution layer: several simrun
@@ -41,6 +50,7 @@ import (
 	"pbsim/internal/report"
 	"pbsim/internal/runner"
 	"pbsim/internal/runner/dist"
+	"pbsim/internal/sampling"
 	"pbsim/internal/sim"
 	"pbsim/internal/workload"
 )
@@ -61,6 +71,7 @@ func run() (err error) {
 	workers := flag.Int("workers", 0, "run the benchmarks through N crash-safe in-process workers (distributed mode)")
 	shardDir := flag.String("shard-dir", "", "campaign directory for distributed mode; share it among simrun processes with identical flags to scale out or resume")
 	shardSync := flag.Bool("shard-sync", false, "fsync shard ledgers after every commit in distributed mode")
+	sampleFlags := sampling.RegisterFlags(flag.CommandLine)
 	obsFlags := obs.RegisterCLIFlags(flag.CommandLine, "simrun")
 	flag.Parse()
 
@@ -80,6 +91,22 @@ func run() (err error) {
 	names := []string{*bench}
 	if *bench == "all" {
 		names = workload.Names()
+	}
+
+	sampleSpec, err := sampleFlags()
+	if err != nil {
+		return obs.Usagef("%v", err)
+	}
+	if sampleSpec != nil {
+		switch {
+		case *precompute > 0:
+			return obs.Usagef("-sample measures the base pipeline; it cannot be combined with -precompute")
+		case *workers > 0 || *shardDir != "":
+			return obs.Usagef("-sample is sequential-only in simrun; distributed sampled campaigns run through pbrank/pbworker manifests")
+		case *checkpoint != "":
+			return obs.Usagef("-sample runs are cheap by construction and do not checkpoint")
+		}
+		return runSampled(ctx, names, cfg, *n, *warmup, *sampleSpec)
 	}
 
 	if *workers > 0 || *shardDir != "" {
@@ -138,6 +165,45 @@ func run() (err error) {
 			continue
 		}
 		fmt.Println(report.SimStats(name, *stats[i]))
+	}
+	return nil
+}
+
+// runSampled evaluates each benchmark through the region-sampling
+// layer and prints the estimate with its quantified error: the
+// extrapolated cycle count ± the 95% confidence half-width, the CPI
+// estimate, the sampled region count, and the detailed-instruction
+// reduction against a full run of the same budgets.
+func runSampled(ctx context.Context, names []string, cfg sim.Config, n, warmup int64, spec sampling.Spec) error {
+	full := warmup + n
+	for _, name := range names {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		w, err := workload.ByName(name)
+		if err != nil {
+			return err
+		}
+		gen, err := w.NewGenerator()
+		if err != nil {
+			return err
+		}
+		res, err := sampling.Run(cfg, gen, warmup, n, spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("%s: %.0f ± %.0f cycles (95%% CI), CPI %.4f ± %.4f\n",
+			name, res.Cycles, res.CyclesCIHalf, res.CPI, res.CIHalf)
+		if res.Census {
+			fmt.Printf("  %s estimator: budget covered all %d regions — exact full simulation\n",
+				res.Estimator, res.NumRegions)
+			continue
+		}
+		fmt.Printf("  %s estimator: %d/%d regions detailed\n",
+			res.Estimator, res.SampledRegions, res.NumRegions)
+		fmt.Printf("  detailed %d of %d instructions (%.1fx reduction), functional warming %d (+%d schedule)\n",
+			res.DetailedInstructions, full, float64(full)/float64(res.DetailedInstructions),
+			res.FunctionalInstructions, res.ScheduleFunctional)
 	}
 	return nil
 }

@@ -16,14 +16,15 @@ import (
 // ranks, and sum-of-ranks — the quantities the paper's Tables 9-12
 // (and PR 1/PR 2's bit-identity guarantees) are built on.
 var deterministicSegments = map[string]bool{
-	"pb":      true,
-	"stats":   true,
-	"sim":     true,
-	"trace":   true,
-	"cluster": true,
-	"tables":  true,
-	"truth":   true,
-	"assess":  true,
+	"pb":       true,
+	"stats":    true,
+	"sim":      true,
+	"trace":    true,
+	"cluster":  true,
+	"tables":   true,
+	"truth":    true,
+	"assess":   true,
+	"sampling": true,
 }
 
 // randConstructors are the math/rand functions that build an

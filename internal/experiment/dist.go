@@ -8,6 +8,7 @@ import (
 
 	"pbsim/internal/pb"
 	"pbsim/internal/runner/dist"
+	"pbsim/internal/sampling"
 	"pbsim/internal/sim"
 	"pbsim/internal/workload"
 )
@@ -27,6 +28,7 @@ const (
 	specFoldover   = "foldover"
 	specLabel      = "label"
 	specBenchmarks = "benchmarks"
+	specSample     = "sample"
 )
 
 // campaignPlan is everything derivable from Options that the
@@ -48,6 +50,15 @@ func planCampaign(opts Options) (*campaignPlan, error) {
 	}
 	if opts.Warmup < 0 {
 		opts.Warmup = DefaultWarmup
+	}
+	if opts.Sampling != nil {
+		// Normalize here so the manifest, the fingerprint, and every
+		// reconstructing worker agree on one canonical spec.
+		spec := opts.Sampling.Normalized()
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		opts.Sampling = &spec
 	}
 	ws := opts.Workloads
 	if ws == nil {
@@ -84,6 +95,9 @@ func CampaignManifest(opts Options) (dist.Manifest, error) {
 			specBenchmarks: benchNames(p.ws),
 		},
 	}
+	if p.opts.Sampling != nil {
+		man.Spec[specSample] = p.opts.Sampling.String()
+	}
 	for _, w := range p.ws {
 		man.Scopes = append(man.Scopes, dist.ScopeSpec{Name: w.Name, Rows: p.design.Runs()})
 	}
@@ -112,6 +126,13 @@ func OptionsFromSpec(spec map[string]string) (Options, error) {
 	if l := spec[specLabel]; l != "base" {
 		opts.Label = l
 	}
+	if text, ok := spec[specSample]; ok {
+		s, err := sampling.ParseSpec(text)
+		if err != nil {
+			return opts, fmt.Errorf("experiment: campaign spec %s: %w", specSample, err)
+		}
+		opts.Sampling = &s
+	}
 	for _, name := range strings.Split(spec[specBenchmarks], ",") {
 		w, err := workload.ByName(name)
 		if err != nil {
@@ -137,7 +158,11 @@ func CampaignTask(opts Options, man dist.Manifest) (dist.Task, error) {
 	}
 	byName := make(map[string]pb.FallibleResponse, len(p.ws))
 	for _, w := range p.ws {
-		byName[w.Name] = Response(w, p.opts.Warmup, p.opts.Instructions, nil)
+		if p.opts.Sampling != nil {
+			byName[w.Name] = SampledResponse(w, p.opts.Warmup, p.opts.Instructions, *p.opts.Sampling)
+		} else {
+			byName[w.Name] = Response(w, p.opts.Warmup, p.opts.Instructions, nil)
+		}
 	}
 	for _, s := range man.Scopes {
 		if byName[s.Name] == nil {

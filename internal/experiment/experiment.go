@@ -13,6 +13,7 @@ import (
 	"pbsim/internal/obs"
 	"pbsim/internal/pb"
 	"pbsim/internal/runner"
+	"pbsim/internal/sampling"
 	"pbsim/internal/sim"
 	"pbsim/internal/trace"
 	"pbsim/internal/workload"
@@ -49,6 +50,11 @@ type Options struct {
 	Parallelism int
 	// Shortcut optionally enables an enhancement (Table 12).
 	Shortcut ShortcutFactory
+	// Sampling, when non-nil, replaces every row's full simulation with
+	// a region-sampled one (see internal/sampling): the response becomes
+	// the extrapolated cycle count. Mutually exclusive with Shortcut
+	// (the enhancement's observation stream assumes a full run).
+	Sampling *sampling.Spec
 	// Workloads restricts the benchmark suite; nil selects all 13.
 	Workloads []workload.Workload
 
@@ -133,6 +139,34 @@ func Response(w workload.Workload, warmup, instructions int64, shortcut Shortcut
 	}
 }
 
+// SampledResponse is Response with region sampling: each design row
+// runs the sampled simulation instead of the full one and reports the
+// extrapolated cycle count. The spec must be normalized and valid; all
+// rows of one workload share a memoized schedule, so the functional
+// pre-passes are paid once, not per row.
+func SampledResponse(w workload.Workload, warmup, instructions int64, spec sampling.Spec) pb.FallibleResponse {
+	var gens sync.Pool
+	return func(ctx context.Context, levels []pb.Level) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		cfg := sim.ConfigForLevels(levels)
+		gen, _ := gens.Get().(*trace.Generator)
+		if gen == nil {
+			var err error
+			if gen, err = w.NewGenerator(); err != nil {
+				return 0, fmt.Errorf("workload %s: %w", w.Name, err)
+			}
+		}
+		defer gens.Put(gen)
+		res, err := sampling.Run(cfg, gen, warmup, instructions, spec)
+		if err != nil {
+			return 0, fmt.Errorf("sampled run %s: %w", w.Name, err)
+		}
+		return res.Cycles, nil
+	}
+}
+
 // RunSuite executes the full PB experiment over the benchmark suite
 // and returns per-benchmark ranks plus the sum-of-ranks ordering. It
 // is the non-cancellable adapter over RunSuiteCtx.
@@ -150,6 +184,16 @@ func RunSuiteCtx(ctx context.Context, opts Options) (suite *pb.Suite, err error)
 	}
 	if opts.Warmup < 0 {
 		opts.Warmup = DefaultWarmup
+	}
+	if opts.Sampling != nil {
+		if opts.Shortcut != nil {
+			return nil, fmt.Errorf("experiment: sampling cannot be combined with an enhancement shortcut")
+		}
+		spec := opts.Sampling.Normalized()
+		if err := spec.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		opts.Sampling = &spec
 	}
 	ws := opts.Workloads
 	if ws == nil {
@@ -198,7 +242,11 @@ func RunSuiteCtx(ctx context.Context, opts Options) (suite *pb.Suite, err error)
 	responses := make([]pb.FallibleResponse, len(ws))
 	for i, w := range ws {
 		names[i] = w.Name
-		responses[i] = Response(w, opts.Warmup, opts.Instructions, opts.Shortcut)
+		if opts.Sampling != nil {
+			responses[i] = SampledResponse(w, opts.Warmup, opts.Instructions, *opts.Sampling)
+		} else {
+			responses[i] = Response(w, opts.Warmup, opts.Instructions, opts.Shortcut)
+		}
 	}
 	return pb.RunSuiteWithDesignCtx(ctx, design, factors, names, responses, pbOpts)
 }
@@ -210,8 +258,14 @@ func RunSuiteCtx(ctx context.Context, opts Options) (suite *pb.Suite, err error)
 // budgets (or with an enhancement toggled) can never splice stale
 // responses into the effects.
 func Fingerprint(design *pb.Design, opts Options) string {
-	return fmt.Sprintf("%s|n=%d|warmup=%d|label=%s",
+	fp := fmt.Sprintf("%s|n=%d|warmup=%d|label=%s",
 		design.Fingerprint(), opts.Instructions, opts.Warmup, label(opts))
+	if opts.Sampling != nil {
+		// The canonical spec string, so equivalent specs collide and any
+		// change in sampling parameters invalidates checkpointed rows.
+		fp += "|sample=" + opts.Sampling.String()
+	}
+	return fp
 }
 
 func label(opts Options) string {

@@ -20,6 +20,10 @@ type File struct {
 	Rev        string            `json:"rev"`
 	Config     map[string]string `json:"config,omitempty"`
 	Benchmarks []Summary         `json:"benchmarks"`
+	// Frontier optionally carries the revision's sampled-simulation
+	// accuracy-vs-speed points (one per estimator). Frontier-only files
+	// (no timing benchmarks) are valid trajectories.
+	Frontier []FrontierPoint `json:"frontier,omitempty"`
 }
 
 // FromSet summarizes a parsed benchmark run into a trajectory file,
@@ -53,8 +57,8 @@ func Decode(r io.Reader) (*File, error) {
 	if f.Schema != Schema {
 		return nil, fmt.Errorf("perfbench: unsupported schema %q (want %q)", f.Schema, Schema)
 	}
-	if len(f.Benchmarks) == 0 {
-		return nil, fmt.Errorf("perfbench: trajectory %q holds no benchmarks", f.Rev)
+	if len(f.Benchmarks) == 0 && len(f.Frontier) == 0 {
+		return nil, fmt.Errorf("perfbench: trajectory %q holds no benchmarks and no frontier", f.Rev)
 	}
 	return &f, nil
 }

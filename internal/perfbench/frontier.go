@@ -1,0 +1,22 @@
+package perfbench
+
+// FrontierPoint records where one sampling estimator landed on the
+// accuracy-vs-speed frontier of a revision: the two gated axes
+// (instruction speedup, rank correlation) plus the CPI error both
+// summarize. It mirrors experiment.FrontierPoint without importing it,
+// keeping the trajectory schema self-contained.
+type FrontierPoint struct {
+	Estimator string `json:"estimator"`
+	// InstrSpeedup is full-run detailed instructions over sampled
+	// detailed instructions; WallSpeedup the end-to-end wall ratio.
+	InstrSpeedup float64 `json:"instr_speedup"`
+	WallSpeedup  float64 `json:"wall_speedup"`
+	// MeanCPIRelErr / MaxCPIRelErr are |sampled/full - 1| over all
+	// (benchmark, configuration) responses.
+	MeanCPIRelErr float64 `json:"mean_cpi_rel_err"`
+	MaxCPIRelErr  float64 `json:"max_cpi_rel_err"`
+	// Spearman is the sampled-vs-full rank correlation of the factor
+	// ordering; Pass marks it against the gate the run used.
+	Spearman float64 `json:"spearman"`
+	Pass     bool    `json:"pass"`
+}

@@ -280,6 +280,39 @@ func TestDecodeRejectsBadFiles(t *testing.T) {
 	}
 }
 
+// TestFrontierOnlyFileRoundTrips: a trajectory carrying sampling
+// frontier points but no timing benchmarks is valid, while one with
+// neither stays rejected.
+func TestFrontierOnlyFileRoundTrips(t *testing.T) {
+	f := &File{
+		Schema: Schema,
+		Rev:    "ci",
+		Frontier: []FrontierPoint{{
+			Estimator:     "rankedset",
+			InstrSpeedup:  17.4,
+			WallSpeedup:   3.5,
+			MeanCPIRelErr: 0.078,
+			MaxCPIRelErr:  0.21,
+			Spearman:      0.963,
+			Pass:          true,
+		}},
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Frontier) != 1 || got.Frontier[0] != f.Frontier[0] {
+		t.Fatalf("round trip: %+v", got.Frontier)
+	}
+	if _, err := Decode(strings.NewReader(`{"schema":"pbsim-bench/v1","rev":"0","benchmarks":[],"frontier":[]}`)); err == nil {
+		t.Error("file with neither benchmarks nor frontier must be rejected")
+	}
+}
+
 func TestParseThreshold(t *testing.T) {
 	for in, want := range map[string]float64{"10%": 10, "7.5": 7.5, " 0% ": 0} {
 		got, err := ParseThreshold(in)

@@ -1,0 +1,45 @@
+package sampling
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func parseSampleFlags(t *testing.T, args ...string) (*Spec, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	build := RegisterFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return build()
+}
+
+func TestRegisterFlagsOptIn(t *testing.T) {
+	spec, err := parseSampleFlags(t)
+	if err != nil || spec != nil {
+		t.Fatalf("no -sample must yield (nil, nil), got (%v, %v)", spec, err)
+	}
+	spec, err = parseSampleFlags(t, "-sample", "stratified", "-sample-frac", "0.2", "-sample-strata", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Estimator != EstimatorStratified || spec.Fraction != 0.2 || spec.Strata != 6 { //pbcheck:ignore floateq exact flag round-trip, no arithmetic involved
+		t.Fatalf("spec = %+v", spec)
+	}
+	// Defaults materialize through Normalized: -1 warmups resolve.
+	if spec.RegionWarmup != DefaultRegionSize/4 || spec.FuncWarmup != 8*DefaultRegionSize {
+		t.Fatalf("warmup defaults did not materialize: %+v", spec)
+	}
+}
+
+func TestRegisterFlagsRejectsBadSpec(t *testing.T) {
+	if _, err := parseSampleFlags(t, "-sample", "nope"); err == nil {
+		t.Error("unknown estimator must fail")
+	}
+	if _, err := parseSampleFlags(t, "-sample", "uniform", "-sample-frac", "1.5"); err == nil {
+		t.Error("fraction above 1 must fail")
+	}
+}

@@ -80,6 +80,7 @@ func (p *TwoLevel) index(pc uint64) uint64 {
 }
 
 // Predict implements DirectionPredictor.
+//
 //pbcheck:hotpath
 func (p *TwoLevel) Predict(pc uint64) bool {
 	return p.pht[p.index(pc)] >= 2
@@ -87,6 +88,7 @@ func (p *TwoLevel) Predict(pc uint64) bool {
 
 // Update implements DirectionPredictor: it trains the counter and
 // shifts the outcome into the branch's local history.
+//
 //pbcheck:hotpath
 func (p *TwoLevel) Update(pc uint64, taken bool) {
 	bit := boolBit(taken)
@@ -119,12 +121,14 @@ func NewBimodal(tableBits uint) (*Bimodal, error) {
 }
 
 // Predict implements DirectionPredictor.
+//
 //pbcheck:hotpath
 func (p *Bimodal) Predict(pc uint64) bool {
 	return p.pht[(pc>>2)&p.mask] >= 2
 }
 
 // Update implements DirectionPredictor.
+//
 //pbcheck:hotpath
 func (p *Bimodal) Update(pc uint64, taken bool) {
 	idx := (pc >> 2) & p.mask
@@ -138,10 +142,12 @@ func (p *Bimodal) Name() string { return "Bimodal" }
 type Taken struct{}
 
 // Predict implements DirectionPredictor.
+//
 //pbcheck:hotpath
 func (Taken) Predict(uint64) bool { return true }
 
 // Update implements DirectionPredictor (no state).
+//
 //pbcheck:hotpath
 func (Taken) Update(uint64, bool) {}
 

@@ -54,6 +54,7 @@ func (b *BTB) Ways() int { return b.ways }
 
 // Lookup returns the predicted target for the branch at pc and whether
 // the BTB held an entry for it.
+//
 //pbcheck:hotpath
 func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 	b.lookups++
@@ -72,6 +73,7 @@ func (b *BTB) Lookup(pc uint64) (uint64, bool) {
 
 // Insert records the taken target of the branch at pc, evicting the
 // LRU entry of the set if necessary.
+//
 //pbcheck:hotpath
 func (b *BTB) Insert(pc, target uint64) {
 	b.clock++
@@ -127,6 +129,7 @@ func NewRAS(entries int) (*RAS, error) {
 }
 
 // Push records a return address at a call.
+//
 //pbcheck:hotpath
 func (r *RAS) Push(addr uint64) {
 	r.stack[r.top] = addr
@@ -138,6 +141,7 @@ func (r *RAS) Push(addr uint64) {
 
 // Pop predicts the target of a return. ok is false when the stack is
 // empty (an unconditional misprediction).
+//
 //pbcheck:hotpath
 func (r *RAS) Pop() (addr uint64, ok bool) {
 	r.pops++

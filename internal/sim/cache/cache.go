@@ -144,6 +144,7 @@ func (c *Cache) Stats() Stats { return c.stats }
 // Access looks up the block containing addr, allocating it on a miss,
 // and reports whether the access hit. The timing consequences of a
 // miss are the caller's concern.
+//
 //pbcheck:hotpath
 func (c *Cache) Access(addr uint64) bool {
 	c.stats.Accesses++
@@ -166,6 +167,7 @@ func (c *Cache) Access(addr uint64) bool {
 
 // Contains reports whether the block holding addr is present, without
 // updating any state or statistics.
+//
 //pbcheck:hotpath
 func (c *Cache) Contains(addr uint64) bool {
 	block := addr >> c.blockBits
@@ -183,6 +185,7 @@ func (c *Cache) Contains(addr uint64) bool {
 // lines carry stamp 0, so the smallest-stamp scan of the LRU/FIFO
 // policies selects the first invalid way exactly as an explicit
 // invalid-first pass would.
+//
 //pbcheck:hotpath
 func (c *Cache) fill(set []line, block uint64) {
 	victim := 0

@@ -77,6 +77,7 @@ func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 // dramLatency charges a block transfer from DRAM starting at t,
 // returning the cycle at which the block is available: first-chunk
 // latency plus following-chunk latency for the rest of the L2 block.
+//
 //pbcheck:hotpath
 func (h *Hierarchy) dramLatency(t int64) int64 {
 	chunks := (h.L2.BlockBytes() + h.cfg.MemBandwidthBytes - 1) / h.cfg.MemBandwidthBytes
@@ -114,6 +115,7 @@ func (h *Hierarchy) PrewarmCode(start, size uint64) {
 // probes. (The stride never exceeds a block, so no block in the range
 // is skipped regardless of alignment; the sub-16-byte guard keeps the
 // historical 16-byte floor for degenerate block sizes.)
+//
 //pbcheck:hotpath
 func (h *Hierarchy) prewarm(l1 *Cache, tlb *TLB, start, size uint64) {
 	dram := h.DRAMAccesses
@@ -153,6 +155,7 @@ func (h *Hierarchy) prewarm(l1 *Cache, tlb *TLB, start, size uint64) {
 // beginning at the given cycle and returns its total latency in
 // cycles: ITLB (plus page walk on a miss), L1I, then L2 and DRAM as
 // needed.
+//
 //pbcheck:hotpath
 func (h *Hierarchy) InstFetch(addr uint64, cycle int64) int64 {
 	t := cycle
@@ -173,6 +176,7 @@ func (h *Hierarchy) InstFetch(addr uint64, cycle int64) int64 {
 // given cycle and returns its total latency: DTLB (plus walk), L1D,
 // then L2 and DRAM. Stores allocate like loads (write-allocate,
 // write-back timing model).
+//
 //pbcheck:hotpath
 func (h *Hierarchy) DataAccess(addr uint64, cycle int64) int64 {
 	t := cycle

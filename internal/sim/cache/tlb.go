@@ -33,6 +33,7 @@ func NewTLB(entries, assoc int, pageBytes uint64) (*TLB, error) {
 
 // Access translates addr, allocating the page entry on a miss, and
 // reports whether the translation hit.
+//
 //pbcheck:hotpath
 func (t *TLB) Access(addr uint64) bool {
 	return t.cache.Access(addr >> t.pageBits)

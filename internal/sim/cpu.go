@@ -205,6 +205,54 @@ func (c *CPU) PrewarmMemory() {
 	c.hier.PrewarmData(trace.DataBase, p.WorkingSetBytes)
 }
 
+// WarmFunctional consumes n instructions from the stream, training the
+// branch predictor, BTB, RAS, caches and TLBs exactly as detailed
+// execution would — but without advancing the pipeline or charging
+// cycles. It is the functional-warming phase of sampled simulation
+// (SMARTS-style): history-dependent structures enter a sampled region
+// in the trained state a continuous run would have given them, at
+// generator-walk cost. Call it only before detailed simulation begins;
+// once instructions are in flight the pipeline owns the stream.
+//
+//pbcheck:hotpath
+func (c *CPU) WarmFunctional(n int64) {
+	blockBytes := uint64(c.cfg.L1IBlock)
+	for i := int64(0); i < n; i++ {
+		in := c.nextInstr()
+		c.consumeInstr()
+		if block := in.PC / blockBytes; block != c.lastFetchBlock {
+			c.hier.InstFetch(in.PC, c.cycle)
+			c.lastFetchBlock = block
+		}
+		if in.Class.IsControl() && c.pred != nil {
+			c.warmControl(in)
+		}
+		if in.Class.IsMem() {
+			c.hier.DataAccess(in.Addr, c.cycle)
+		}
+	}
+}
+
+// warmControl applies the predictor-training side effects of one
+// control instruction — the same updates predictControl and commitStage
+// perform, minus the prediction itself.
+//
+//pbcheck:hotpath
+func (c *CPU) warmControl(in trace.Instr) {
+	switch in.Class {
+	case trace.Branch:
+		c.pred.Update(in.PC, in.Taken)
+		if in.Taken {
+			c.btb.Insert(in.PC, in.Target)
+		}
+	case trace.Call:
+		c.ras.Push(in.Addr)
+		c.btb.Insert(in.PC, in.Target)
+	case trace.Return:
+		c.ras.Pop()
+	}
+}
+
 // Run simulates until n instructions commit and returns the run's
 // statistics. It errors out if the pipeline stops making progress
 // (which would indicate a simulator bug, not a configuration choice).
@@ -231,6 +279,23 @@ func (c *CPU) RunWithWarmup(warmup, n int64) (Stats, error) {
 	base := c.snapshot()
 	if err := c.runTo(warmup + n); err != nil {
 		return c.snapshot(), err
+	}
+	return c.snapshot().sub(base), nil
+}
+
+// RunMore advances the same CPU by n more committed instructions and
+// returns statistics covering only that increment. Successive calls
+// partition one continuous run into consecutive measured windows
+// without disturbing microarchitectural state — the sampling layer
+// uses it to read per-region cycle counts off a single warmed
+// pipeline.
+func (c *CPU) RunMore(n int64) (Stats, error) {
+	if n <= 0 {
+		return Stats{}, fmt.Errorf("sim: instruction count %d invalid", n)
+	}
+	base := c.snapshot()
+	if err := c.runTo(c.committed + n); err != nil {
+		return c.snapshot().sub(base), err
 	}
 	return c.snapshot().sub(base), nil
 }
@@ -304,6 +369,7 @@ func (c *CPU) snapshot() Stats {
 
 // nextInstr returns the next instruction to fetch without consuming
 // it; consume advances past it.
+//
 //pbcheck:hotpath
 func (c *CPU) nextInstr() trace.Instr {
 	if !c.pendingSet {
@@ -323,6 +389,7 @@ func (c *CPU) consumeInstr() {
 // control instruction, an IFQ-full condition, an instruction-cache
 // stall, or a misprediction (fetch halts until the offending
 // instruction resolves and the penalty elapses).
+//
 //pbcheck:hotpath
 func (c *CPU) fetchStage() {
 	if c.haltSeq >= 0 {
@@ -380,6 +447,7 @@ func (c *CPU) fetchStage() {
 
 // predictControl runs the front-end prediction hardware for a control
 // instruction and reports whether the prediction was wrong.
+//
 //pbcheck:hotpath
 func (c *CPU) predictControl(in trace.Instr) bool {
 	if c.pred == nil {
@@ -441,6 +509,7 @@ func (c *CPU) predictControl(in trace.Instr) bool {
 
 // dispatchStage moves instructions from the IFQ into the ROB (and
 // LSQ), applying the compute shortcut.
+//
 //pbcheck:hotpath
 func (c *CPU) dispatchStage() {
 	for n := 0; n < c.cfg.Width && c.ifqLen > 0; n++ {
@@ -472,6 +541,7 @@ func (c *CPU) dispatchStage() {
 }
 
 // depsReady reports whether both source operands of e are available.
+//
 //pbcheck:hotpath
 func (c *CPU) depsReady(e *pipeline.Entry) bool {
 	if d := e.Instr.Dep1; d > 0 {
@@ -489,6 +559,7 @@ func (c *CPU) depsReady(e *pipeline.Entry) bool {
 
 // issueStage selects up to Width ready instructions, oldest first,
 // subject to functional-unit and memory-port availability.
+//
 //pbcheck:hotpath
 func (c *CPU) issueStage() {
 	issued := 0
@@ -574,6 +645,7 @@ func (c *CPU) issueStage() {
 // commitStage retires completed instructions in order, up to Width per
 // cycle, performing store writes, enhancement training, and (in
 // commit-update mode) predictor training.
+//
 //pbcheck:hotpath
 func (c *CPU) commitStage() {
 	for n := 0; n < c.cfg.Width && !c.rob.Empty() && c.committed < c.stopAt; n++ {

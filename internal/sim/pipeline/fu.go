@@ -31,6 +31,7 @@ func (p *Pool) Issued() uint64 { return p.issued }
 
 // TryIssue reserves a unit at the given cycle with the given
 // initiation interval. It reports false when every unit is busy.
+//
 //pbcheck:hotpath
 func (p *Pool) TryIssue(cycle, interval int64) bool {
 	if interval < 1 {
@@ -48,6 +49,7 @@ func (p *Pool) TryIssue(cycle, interval int64) bool {
 
 // NextFree returns the earliest cycle at which any unit can accept a
 // new operation.
+//
 //pbcheck:hotpath
 func (p *Pool) NextFree() int64 {
 	best := p.nextFree[0]

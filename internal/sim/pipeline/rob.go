@@ -59,6 +59,7 @@ func (r *ROB) Empty() bool { return r.count == 0 }
 
 // Push allocates the tail entry and returns it for initialization. It
 // must not be called on a full buffer.
+//
 //pbcheck:hotpath
 func (r *ROB) Push() *Entry {
 	if r.Full() {
@@ -77,6 +78,7 @@ func (r *ROB) Push() *Entry {
 }
 
 // Head returns the oldest entry, or nil when empty.
+//
 //pbcheck:hotpath
 func (r *ROB) Head() *Entry {
 	if r.count == 0 {
@@ -87,6 +89,7 @@ func (r *ROB) Head() *Entry {
 
 // PopHead retires the oldest entry. It must not be called on an empty
 // buffer.
+//
 //pbcheck:hotpath
 func (r *ROB) PopHead() {
 	if r.count == 0 {
@@ -120,6 +123,7 @@ func (r *ROB) At(i int) *Entry {
 // PopHead. Scanning them lets the issue loop walk the ROB without the
 // per-entry index arithmetic and occupancy check of At, which profiles
 // as the single hottest call site of the simulator.
+//
 //pbcheck:hotpath
 func (r *ROB) Window() (a, b []Entry) {
 	if r.count == 0 {
@@ -158,6 +162,7 @@ func (q *LSQ) Len() int { return q.used }
 func (q *LSQ) Full() bool { return q.used == q.capacity }
 
 // Alloc takes one slot; it reports false when full.
+//
 //pbcheck:hotpath
 func (q *LSQ) Alloc() bool {
 	if q.Full() {
@@ -168,6 +173,7 @@ func (q *LSQ) Alloc() bool {
 }
 
 // Release frees one slot.
+//
 //pbcheck:hotpath
 func (q *LSQ) Release() {
 	if q.used == 0 {

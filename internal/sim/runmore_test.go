@@ -1,0 +1,68 @@
+package sim
+
+import "testing"
+
+// TestRunMorePartitionsRun pins the incremental-measurement contract:
+// a run split into RunMore windows commits the same stream through the
+// same pipeline state as one RunWithWarmup call, so the window totals
+// reassemble the whole-run statistics exactly.
+func TestRunMorePartitionsRun(t *testing.T) {
+	const warmup, n = 3000, 12000
+	cfg := Default()
+
+	whole, err := func() (Stats, error) {
+		cpu, err := New(cfg, testGen(t, "gzip"), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cpu.PrewarmMemory()
+		return cpu.RunWithWarmup(warmup, n)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cpu, err := New(cfg, testGen(t, "gzip"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu.PrewarmMemory()
+	if _, err := cpu.RunMore(warmup); err != nil {
+		t.Fatal(err)
+	}
+	var sum Stats
+	for _, step := range []int64{5000, 1000, 6000} {
+		st, err := cpu.RunMore(step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Instructions != step {
+			t.Fatalf("window committed %d instructions, want %d", st.Instructions, step)
+		}
+		sum.Cycles += st.Cycles
+		sum.Instructions += st.Instructions
+		sum.Mispredicts += st.Mispredicts
+		sum.Loads += st.Loads
+		sum.Stores += st.Stores
+	}
+	if sum.Cycles != whole.Cycles || sum.Instructions != whole.Instructions {
+		t.Fatalf("windowed run = %d cycles / %d instrs, whole run = %d / %d",
+			sum.Cycles, sum.Instructions, whole.Cycles, whole.Instructions)
+	}
+	if sum.Mispredicts != whole.Mispredicts || sum.Loads != whole.Loads || sum.Stores != whole.Stores {
+		t.Fatalf("windowed event counts diverge from the whole run")
+	}
+}
+
+func TestRunMoreRejectsNonPositive(t *testing.T) {
+	cpu, err := New(Default(), testGen(t, "gzip"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cpu.RunMore(0); err == nil {
+		t.Fatal("RunMore(0) should fail")
+	}
+	if _, err := cpu.RunMore(-5); err == nil {
+		t.Fatal("RunMore(-5) should fail")
+	}
+}

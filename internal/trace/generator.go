@@ -381,6 +381,7 @@ func (g *Generator) Emitted() int64 { return g.seq }
 
 // Next produces the next dynamic instruction. The stream is infinite;
 // the caller decides how many instructions to simulate.
+//
 //pbcheck:hotpath
 func (g *Generator) Next() Instr {
 	b := &g.prog.blocks[g.cur]
@@ -397,6 +398,7 @@ func (g *Generator) Next() Instr {
 }
 
 // bodyInstr emits one non-control instruction of the current block.
+//
 //pbcheck:hotpath
 func (g *Generator) bodyInstr(b *block) Instr {
 	in := Instr{PC: b.startPC + uint64(g.pos)*4}
@@ -421,6 +423,7 @@ func (g *Generator) bodyInstr(b *block) Instr {
 
 // controlInstr emits the block terminator and advances to the
 // successor block.
+//
 //pbcheck:hotpath
 func (g *Generator) controlInstr(b *block) Instr {
 	in := Instr{PC: b.startPC + uint64(b.bodyLen)*4}
@@ -483,6 +486,7 @@ func (g *Generator) controlInstr(b *block) Instr {
 
 // depDistance samples a register-dependency back-distance, clamped to
 // the instructions actually emitted.
+//
 //pbcheck:hotpath
 func (g *Generator) depDistance() int32 {
 	d := int64(g.rng.Geometric(g.prog.p.MeanDepDist))
@@ -500,6 +504,7 @@ const hotRegionBytes = 64 << 10
 
 // memAddress samples an effective address according to the locality
 // model.
+//
 //pbcheck:hotpath
 func (g *Generator) memAddress() uint64 {
 	p := &g.prog.p

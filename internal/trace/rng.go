@@ -24,6 +24,7 @@ func NewRNG(seed uint64) *RNG {
 }
 
 // Uint64 returns the next 64 pseudo-random bits.
+//
 //pbcheck:hotpath
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
@@ -34,12 +35,14 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Intn returns a pseudo-random int in [0, n). n must be positive.
+//
 //pbcheck:hotpath
 func (r *RNG) Intn(n int) int {
 	return int(r.Uint64() % uint64(n))
 }
 
 // Float64 returns a pseudo-random float in [0, 1).
+//
 //pbcheck:hotpath
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
@@ -48,6 +51,7 @@ func (r *RNG) Float64() float64 {
 // Geometric returns a sample from a geometric distribution with the
 // given mean (>= 1): the number of trials until first success, so the
 // result is always >= 1.
+//
 //pbcheck:hotpath
 func (r *RNG) Geometric(mean float64) int {
 	if mean <= 1 {
@@ -93,6 +97,7 @@ func zipfCDF(n int, s float64) []float64 {
 }
 
 // Next returns a rank in [1, n]; rank 1 is the most frequent.
+//
 //pbcheck:hotpath
 func (z *Zipf) Next() int {
 	u := z.rng.Float64()

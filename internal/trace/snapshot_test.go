@@ -1,0 +1,136 @@
+package trace
+
+import "testing"
+
+func snapshotParams(seed uint64) Params {
+	p := Params{
+		Seed:            seed,
+		NumBlocks:       64,
+		AvgBlockLen:     6,
+		CallFraction:    0.08,
+		PatternPeriod:   6,
+		Predictability:  0.8,
+		FarJumpFrac:     0.05,
+		WorkingSetBytes: 1 << 16,
+		TemporalFrac:    0.5,
+		SeqFrac:         0.3,
+		StrideBytes:     8,
+		MeanDepDist:     6,
+		RedundantFrac:   0.1,
+		NumCompIDs:      64,
+		ZipfExponent:    1.2,
+	}
+	p.Mix[IntALU] = 0.6
+	p.Mix[Load] = 0.25
+	p.Mix[Store] = 0.15
+	return p
+}
+
+// TestSnapshotRestoreResumesIdentically pins the contract sampled
+// simulation depends on: restoring a snapshot reproduces the exact
+// instruction sequence the original generator emitted from that
+// position, bit for bit, including into a different generator
+// instance.
+func TestSnapshotRestoreResumesIdentically(t *testing.T) {
+	p := snapshotParams(7)
+	g, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Skip(12345)
+	snap := g.Snapshot()
+	if snap.Pos() != 12345 {
+		t.Fatalf("snapshot position = %d, want 12345", snap.Pos())
+	}
+	want := make([]Instr, 4096)
+	for i := range want {
+		want[i] = g.Next()
+	}
+
+	// Restore into a second generator that has drifted elsewhere.
+	other, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other.Skip(999)
+	if err := other.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if other.Emitted() != 12345 {
+		t.Fatalf("restored Emitted() = %d, want 12345", other.Emitted())
+	}
+	for i := range want {
+		if got := other.Next(); got != want[i] {
+			t.Fatalf("instruction %d diverges after restore: got %+v want %+v", i, got, want[i])
+		}
+	}
+
+	// The snapshot is reusable: a second restore replays the same
+	// sequence again.
+	if err := other.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got := other.Next(); got != want[i] {
+			t.Fatalf("instruction %d diverges on second restore", i)
+		}
+	}
+}
+
+// TestSnapshotIsolation verifies the snapshot is a deep copy: mutating
+// the generator after taking it does not corrupt the recorded state.
+func TestSnapshotIsolation(t *testing.T) {
+	g, err := NewGenerator(snapshotParams(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Skip(500)
+	snap := g.Snapshot()
+	first := g.Next() // advances visits/callStack/rng past the snapshot
+	g.Skip(5000)
+	if err := g.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Next(); got != first {
+		t.Fatalf("post-restore instruction %+v differs from original %+v", got, first)
+	}
+}
+
+// TestRestoreRejectsForeignSnapshot: a snapshot must not be restorable
+// into a generator for a different workload.
+func TestRestoreRejectsForeignSnapshot(t *testing.T) {
+	a, err := NewGenerator(snapshotParams(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(snapshotParams(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Restore(a.Snapshot()); err == nil {
+		t.Fatal("restoring a foreign snapshot should fail")
+	}
+}
+
+// TestSkipMatchesNext pins Skip's equivalence to discarding Next
+// results.
+func TestSkipMatchesNext(t *testing.T) {
+	p := snapshotParams(11)
+	a, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Skip(7777)
+	for i := 0; i < 7777; i++ {
+		b.Next()
+	}
+	for i := 0; i < 256; i++ {
+		if x, y := a.Next(), b.Next(); x != y {
+			t.Fatalf("streams diverge %d instructions after skip", i)
+		}
+	}
+}

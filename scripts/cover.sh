@@ -20,6 +20,7 @@ declare -A floors=(
 	["pbsim/internal/analysis/rules"]=85
 	["pbsim/internal/truth"]=85
 	["pbsim/internal/assess"]=80
+	["pbsim/internal/sampling"]=80
 )
 
 go test -covermode=atomic -coverprofile="$profile" ./... | tee /tmp/cover-packages.txt
