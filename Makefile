@@ -10,7 +10,7 @@ BENCHTIME ?= 2x
 BENCHCOUNT ?= 5
 BENCHFLAGS = -run='^$$' -bench=. -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) .
 
-.PHONY: all build vet fmt-check lint lint-new lint-baseline test race short bench bench-baseline bench-check check cover chaos assess frontier
+.PHONY: all build vet fmt-check lint lint-new lint-baseline test race race-hammer short bench bench-baseline bench-check check cover chaos assess frontier
 
 all: check
 
@@ -27,9 +27,10 @@ fmt-check:
 
 # pbcheck is the repository's own stdlib-only static-analysis suite
 # (see internal/analysis): determinism, nopanic, floateq, errdiscard,
-# ctxflow, hotalloc, locksafe, leakygo, purity, lockflow, errflow —
-# interprocedural via a module-wide call-graph fact fixpoint, with the
-# last two flow-sensitive over a per-function CFG. Exit 1 means an
+# ctxflow, hotalloc, locksafe, leakygo, purity, lockflow, errflow,
+# racecheck, chansafe — interprocedural via a module-wide call-graph
+# fact fixpoint plus an Andersen points-to/escape solve, with the last
+# four flow-sensitive over a per-function CFG. Exit 1 means an
 # unsuppressed finding; waivers need a reasoned //pbcheck:ignore.
 lint:
 	$(GO) run ./cmd/pbcheck ./...
@@ -55,6 +56,18 @@ test:
 # detector; this is the CI gate.
 race:
 	$(GO) test -race ./...
+
+# race-hammer is the dynamic complement to the static racecheck rule:
+# it repeats the concurrent substrate's tests (runner fan-out,
+# distributed leases/ledgers, observability, sampling) under the race
+# detector with -count=3 so scheduling-dependent interleavings that a
+# single pass can miss get three chances to bite. The log lands in
+# $(RACE_ARTIFACTS) and is uploaded by the CI race-hammer job.
+RACE_ARTIFACTS ?= out/race-hammer
+race-hammer:
+	mkdir -p $(RACE_ARTIFACTS)
+	$(GO) test -race -count=3 ./internal/runner/... ./internal/obs/ ./internal/sampling/ 2>&1 | tee $(RACE_ARTIFACTS)/race.log
+	@! grep -qE '^(FAIL|--- FAIL)|WARNING: DATA RACE' $(RACE_ARTIFACTS)/race.log || { echo "race-hammer: failures in $(RACE_ARTIFACTS)/race.log"; exit 1; }
 
 short:
 	$(GO) test -short ./...

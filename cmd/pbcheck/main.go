@@ -1,15 +1,20 @@
-// Command pbcheck runs the project's static-analysis suite: eleven
+// Command pbcheck runs the project's static-analysis suite: thirteen
 // analyzers enforcing the reproducibility invariants the PB
 // methodology depends on (determinism, nopanic, floateq, errdiscard,
-// ctxflow, hotalloc, locksafe, leakygo, purity, lockflow, errflow),
-// built purely on the standard library's go/parser + go/types.
-// Analysis is interprocedural: a module-wide call graph propagates
-// nondeterminism/panic/allocation/write-effect facts to fixpoint
-// before any rule runs, so a sink laundered through helper calls and
-// package boundaries is still found. The purity rule additionally
-// consumes //pbcheck:pure markers, and lockflow/errflow are
-// flow-sensitive: they solve a dataflow problem over a per-function
-// CFG instead of pattern-matching statements.
+// ctxflow, hotalloc, locksafe, leakygo, purity, lockflow, errflow,
+// racecheck, chansafe), built purely on the standard library's
+// go/parser + go/types. Analysis is interprocedural: a module-wide
+// call graph propagates nondeterminism/panic/allocation/write-effect
+// facts to fixpoint before any rule runs, so a sink laundered through
+// helper calls and package boundaries is still found, and a
+// module-wide Andersen points-to/escape solve feeds alias-aware
+// ownership and goroutine-sharing queries. The purity rule
+// additionally consumes //pbcheck:pure markers, and
+// lockflow/errflow/racecheck/chansafe are flow-sensitive: they solve
+// dataflow problems over a per-function CFG instead of
+// pattern-matching statements. Rule execution fans packages out over
+// a bounded worker pool (-workers) with byte-identical output at any
+// parallelism.
 //
 // Usage:
 //
@@ -53,6 +58,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		baseline   = fs.String("baseline", "", "baseline file: findings fingerprinted there are reported but do not fail the run")
 		writeBase  = fs.String("write-baseline", "", "write the current unsuppressed findings to this baseline file and exit 0")
 		statsOut   = fs.Bool("stats", false, "append per-rule wall time and finding counts to the report (all output modes)")
+		workers    = fs.Int("workers", analysis.DefaultWorkers(), "packages analyzed concurrently in the rule phase (1 = sequential; output is identical at any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -89,7 +95,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	// The loader's universe includes every module dependency pulled in
 	// while type-checking the selected packages; the fact engine needs
 	// those bodies even though they are not analyzed for reporting.
-	diags, stats, err := analysis.RunUniverseTimed(pkgs, loader.Universe(), selected)
+	diags, stats, err := analysis.RunUniverseTimedWorkers(pkgs, loader.Universe(), selected, *workers)
 	if err != nil {
 		fmt.Fprintf(stderr, "pbcheck: %v\n", err)
 		return 2

@@ -46,6 +46,9 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
+
+	"pbsim/internal/analysis/pointsto"
 )
 
 // A Fact is one propagated per-function property.
@@ -75,6 +78,13 @@ const (
 	// allocated itself (see ownedLocals) — carry no fact: they die
 	// with the frame.
 	FactWritesState
+	// FactSpawned marks functions that can run on a spawned goroutine:
+	// the direct target of a go statement, a function called from a
+	// go'd function literal, or any transitive callee of either. It
+	// propagates caller→callee — the reverse of every other fact —
+	// because running on a goroutine is a property of the execution
+	// context, not of the body.
+	FactSpawned
 
 	numFacts
 )
@@ -151,6 +161,10 @@ type FuncInfo struct {
 	// ("trace.Generator.Next → make").
 	why [numFacts]string
 
+	// spawn identifies the go statement behind FactSpawned (the
+	// deterministically first one to reach this function).
+	spawn *pointsto.Spawn
+
 	edges []calleeEdge
 }
 
@@ -160,6 +174,10 @@ func (fi *FuncInfo) Facts() FactSet { return fi.facts }
 // Why returns the chain explaining how the function acquired f
 // ("" when the fact is absent).
 func (fi *FuncInfo) Why(f Fact) string { return fi.why[f] }
+
+// SpawnedBy returns the go statement that makes this function run on
+// a spawned goroutine, or nil when FactSpawned is absent.
+func (fi *FuncInfo) SpawnedBy() *pointsto.Spawn { return fi.spawn }
 
 // DisplayName returns the short package-qualified name used in
 // diagnostics: "trace.Generator.Next", "stats.Mean".
@@ -200,6 +218,34 @@ type FactIndex struct {
 	// decide whether a misbehaving callee already reports at its own
 	// definition.
 	analyzed map[string]bool
+
+	// pts is the module-wide points-to/escape analysis (see the
+	// pointsto package), computed once per BuildFacts over the same
+	// universe as the call graph; ptsTime is its wall time, surfaced
+	// by -stats.
+	pts     *pointsto.Result
+	ptsTime time.Duration
+
+	// sups tracks which waiver lines actually cut a fact during
+	// seeding; the stale-waiver check in the driver consults it before
+	// declaring a suppression dead.
+	sups *suppressionIndex
+}
+
+// PointsTo returns the module-wide points-to/escape result. Never nil
+// after BuildFacts.
+func (x *FactIndex) PointsTo() *pointsto.Result { return x.pts }
+
+// PointsToTime returns the wall time the points-to fixpoint took.
+func (x *FactIndex) PointsToTime() time.Duration { return x.ptsTime }
+
+// WaiverUsedAt reports whether the waiver for rule on the given line
+// cut at least one fact during seeding.
+func (x *FactIndex) WaiverUsedAt(file string, line int, rule string) bool {
+	if x.sups == nil {
+		return false
+	}
+	return x.sups.used[suppressionKey(file, line, rule)]
 }
 
 // Lookup resolves a types object (normally from Info.Uses at a call
@@ -293,16 +339,31 @@ var globalRandConstructors = map[string]bool{
 
 // suppressionIndex answers "is rule waived at this line" across the
 // whole universe, with the same two-line coverage contract as
-// applySuppressions.
-type suppressionIndex map[string]bool
+// applySuppressions. It additionally records which waiver lines
+// actually fired, feeding the stale-waiver check.
+type suppressionIndex struct {
+	keys map[string]bool
+	used map[string]bool
+}
+
+func newSuppressionIndex() *suppressionIndex {
+	return &suppressionIndex{keys: make(map[string]bool), used: make(map[string]bool)}
+}
 
 func suppressionKey(file string, line int, rule string) string {
 	return fmt.Sprintf("%s\x00%d\x00%s", file, line, rule)
 }
 
-func (s suppressionIndex) covered(pos token.Position, rule string) bool {
-	return s[suppressionKey(pos.Filename, pos.Line, rule)] ||
-		s[suppressionKey(pos.Filename, pos.Line-1, rule)]
+func (s *suppressionIndex) covered(pos token.Position, rule string) bool {
+	hit := false
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		k := suppressionKey(pos.Filename, line, rule)
+		if s.keys[k] {
+			s.used[k] = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // BuildFacts runs phase 1 over the universe: indexing, call-graph
@@ -314,7 +375,8 @@ func BuildFacts(universe []*Package, known map[string]bool) *FactIndex {
 		orphans:  make(map[string][]orphanMarker),
 		analyzed: make(map[string]bool),
 	}
-	b := &factBuilder{index: x, sups: make(suppressionIndex)}
+	b := &factBuilder{index: x, sups: newSuppressionIndex()}
+	x.sups = b.sups
 
 	pkgs := append([]*Package(nil), universe...)
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
@@ -327,12 +389,31 @@ func BuildFacts(universe []*Package, known map[string]bool) *FactIndex {
 		sups, _ := scanSuppressions(pkg, known)
 		for _, s := range sups {
 			for rule := range s.rules {
-				b.sups[suppressionKey(s.file, s.line, rule)] = true
+				b.sups.keys[suppressionKey(s.file, s.line, rule)] = true
 			}
 		}
 		b.collectTypes(pkg)
 		b.collectFuncs(pkg)
 	}
+
+	// The alias layer: one Andersen fixpoint over the same universe,
+	// before seed scanning so the write-effect fact can consult
+	// points-to ownership.
+	ptsStart := time.Now()
+	units := make([]*pointsto.Unit, 0, len(b.pkgs))
+	for _, pkg := range b.pkgs {
+		units = append(units, &pointsto.Unit{
+			Path:  pkg.Path,
+			Name:  pkg.Name,
+			Fset:  pkg.Fset,
+			Files: pkg.Files,
+			Info:  pkg.Info,
+			Types: pkg.Types,
+		})
+	}
+	x.pts = pointsto.Analyze(units)
+	x.ptsTime = time.Since(ptsStart)
+
 	for _, fi := range x.ordered {
 		b.scanFunc(fi)
 	}
@@ -342,7 +423,7 @@ func BuildFacts(universe []*Package, known map[string]bool) *FactIndex {
 
 type factBuilder struct {
 	index *FactIndex
-	sups  suppressionIndex
+	sups  *suppressionIndex
 	pkgs  []*Package
 	// named lists every named (non-interface) type of the universe in
 	// deterministic order, for class-hierarchy resolution of module
@@ -499,7 +580,7 @@ func (b *factBuilder) scanFunc(fi *FuncInfo) {
 	// attributed to the enclosing declaration, same as every other
 	// fact; the owned-locals analysis never claims a literal's own
 	// parameters, so those writes classify conservatively as escaping.
-	ws := newWriteScan(fi)
+	ws := newWriteScan(fi, b.index.pts)
 	write := func(pos token.Pos, what string) {
 		if b.sups.covered(fset.Position(pos), RulePurity) {
 			return
@@ -520,6 +601,7 @@ func (b *factBuilder) scanFunc(fi *FuncInfo) {
 			alloc(n.Pos(), "function literal (closure capture)")
 		case *ast.GoStmt:
 			alloc(n.Pos(), "go statement (new goroutine)")
+			b.seedSpawn(fi, n)
 		case *ast.CompositeLit:
 			switch info.TypeOf(n).Underlying().(type) {
 			case *types.Slice:
@@ -613,6 +695,55 @@ func (b *factBuilder) scanCall(fi *FuncInfo, call *ast.CallExpr, selfAppends map
 	}
 }
 
+// seedSpawn marks the functions a go statement puts on a new
+// goroutine: the go'd function itself, or — for a go'd function
+// literal — every module function the literal's body calls
+// statically. (Interface calls from a spawned literal stay unmarked:
+// the zero-false-positive bias prefers a missed spawn context over a
+// speculative one.) Transitive callees acquire the fact through the
+// reverse propagation in propagate.
+func (b *factBuilder) seedSpawn(fi *FuncInfo, g *ast.GoStmt) {
+	info := fi.Pkg.Info
+	ls, le, inLoop := pointsto.SpawnLoop(fi.Decl.Body, g.Go)
+	sp := &pointsto.Spawn{
+		Pos:       g.Go,
+		Fn:        fi.DisplayName(),
+		PkgPath:   fi.Pkg.Path,
+		InLoop:    inLoop,
+		LoopStart: ls,
+		LoopEnd:   le,
+	}
+	mark := func(obj types.Object) {
+		fj := b.index.Lookup(obj)
+		if fj == nil {
+			return
+		}
+		if fj.setFact(FactSpawned, "launched by a go statement in "+fi.DisplayName()) {
+			fj.spawn = sp
+		}
+	}
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.Ident:
+		mark(info.Uses[fun])
+	case *ast.SelectorExpr:
+		mark(info.Uses[fun.Sel])
+	case *ast.FuncLit:
+		ast.Inspect(fun.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch f := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				mark(info.Uses[f])
+			case *ast.SelectorExpr:
+				mark(info.Uses[f.Sel])
+			}
+			return true
+		})
+	}
+}
+
 // resolveStatic handles a call to a known function object: a module
 // function becomes an edge, fmt seeds the allocation fact, the pure
 // whitelist is free, and everything else is the unknown bottom.
@@ -698,10 +829,30 @@ func (b *factBuilder) propagate() {
 			for _, e := range fi.edges {
 				callee := b.index.funcs[e.callee]
 				for f := Fact(0); f < numFacts; f++ {
+					if f == FactSpawned {
+						continue // flows caller→callee, handled below
+					}
 					if callee.facts.Has(f) && !fi.facts.Has(f) {
 						fi.setFact(f, callee.DisplayName()+" → "+callee.why[f])
 						changed = true
 					}
+				}
+			}
+		}
+	}
+	// Spawn reachability flows the other way: everything a spawned
+	// function calls also runs on that goroutine.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range b.index.ordered {
+			if !fi.facts.Has(FactSpawned) {
+				continue
+			}
+			for _, e := range fi.edges {
+				callee := b.index.funcs[e.callee]
+				if callee.setFact(FactSpawned, fi.DisplayName()+" → "+fi.why[FactSpawned]) {
+					callee.spawn = fi.spawn
+					changed = true
 				}
 			}
 		}

@@ -575,6 +575,179 @@ func TestBuildUnreachableAfterReturn(t *testing.T) {
 	t.Fatalf("no unreachable block holds the dead statement:\n%s", g.String())
 }
 
+func TestBuildSelectSendAndDefault(t *testing.T) {
+	// A send arm is a statement, not a binding: the CommClause's
+	// channel operation must land inside its own select.case block so
+	// chansafe sees the send on the branch that performs it.
+	g := buildFunc(t, `
+ch := make(chan int)
+v := 1
+select {
+case ch <- v:
+	v++
+default:
+	v--
+}
+_ = v`)
+	var cases []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == "select.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("got %d select branches, want 2 (send + default):\n%s", len(cases), g.String())
+	}
+	// The send arm's block holds the comm statement plus the branch
+	// body, and every arm rejoins at select.after on the way to exit.
+	for _, c := range cases {
+		if len(c.Nodes) == 0 {
+			t.Errorf("select branch block is empty:\n%s", g.String())
+		}
+		if !reaches(c, g.Exit) {
+			t.Errorf("select branch cannot reach exit:\n%s", g.String())
+		}
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestBuildGoInLoop(t *testing.T) {
+	// The spawn-in-loop shape racecheck's SharedAcrossIterations
+	// evidence depends on: the go statement is an ordinary node inside
+	// the loop body, and the back edge makes it re-executable.
+	g := buildFunc(t, `
+for i := 0; i < 4; i++ {
+	go func() { _ = i }()
+}`)
+	var head, body *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.head":
+			head = b
+		case "for.body":
+			body = b
+		}
+	}
+	if head == nil || body == nil {
+		t.Fatalf("missing loop blocks:\n%s", g.String())
+	}
+	found := false
+	for _, n := range body.Nodes {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("go statement not in the loop body block:\n%s", g.String())
+	}
+	if !reaches(body, head) {
+		t.Error("no back edge from loop body; the spawn would not repeat")
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestBuildFuncLitBodyIsOwnCFG(t *testing.T) {
+	// Rules analyzing spawned bodies build a SEPARATE CFG from the
+	// FuncLit's body. A go'd literal containing channel operations and
+	// a conditional must produce a well-formed graph of its own, with
+	// the enclosing function's graph unchanged (the go statement stays
+	// a straight-line node there).
+	src := `package p
+
+func f(ch chan int, done chan struct{}) {
+	go func() {
+		for {
+			select {
+			case ch <- 1:
+			case <-done:
+				return
+			}
+		}
+	}()
+}`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "lit.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var lit *ast.FuncLit
+	ast.Inspect(file, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+			return false
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("no function literal in source")
+	}
+	outer := Build(file.Decls[0].(*ast.FuncDecl).Body)
+	inner := Build(lit.Body)
+
+	// Outer: the go statement is one straight-line node to exit.
+	var outerBody *Block
+	for _, b := range outer.Blocks {
+		if b.Kind == "body" {
+			outerBody = b
+		}
+	}
+	if outerBody == nil || len(outerBody.Nodes) != 1 {
+		t.Fatalf("outer body should hold exactly the go statement:\n%s", outer.String())
+	}
+	if _, ok := outerBody.Nodes[0].(*ast.GoStmt); !ok {
+		t.Fatalf("outer body node is %T, want *ast.GoStmt", outerBody.Nodes[0])
+	}
+
+	// Inner: the literal's infinite for + select produce their own
+	// blocks; the return arm makes the inner exit reachable.
+	var sawCase bool
+	for _, b := range inner.Blocks {
+		if b.Kind == "select.case" {
+			sawCase = true
+		}
+	}
+	if !sawCase {
+		t.Errorf("spawned body CFG missing select branches:\n%s", inner.String())
+	}
+	if !reaches(inner.Entry, inner.Exit) {
+		t.Errorf("return inside the spawned body should reach its own exit:\n%s", inner.String())
+	}
+}
+
+func TestBuildRangeOverChannel(t *testing.T) {
+	// range over a channel is the receive-until-closed idiom; it must
+	// take the same head/body/after shape as a slice range so the
+	// dataflow rules treat the implicit receives as loop-carried.
+	g := buildFunc(t, `
+ch := make(chan int)
+sum := 0
+for v := range ch {
+	sum += v
+}
+_ = sum`)
+	var head, body, after *Block
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "range.head":
+			head = b
+		case "range.body":
+			body = b
+		case "range.after":
+			after = b
+		}
+	}
+	if head == nil || body == nil || after == nil {
+		t.Fatalf("missing range blocks:\n%s", g.String())
+	}
+	if !reaches(body, head) || !reaches(head, after) || !reaches(g.Entry, g.Exit) {
+		t.Error("channel range loop shape broken")
+	}
+}
+
 func TestStringStable(t *testing.T) {
 	body := `
 for i := 0; i < 3; i++ {

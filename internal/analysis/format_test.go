@@ -60,15 +60,22 @@ func TestWriteMarkdownGolden(t *testing.T) {
 func TestWriteStats(t *testing.T) {
 	stats := &analysis.RunStats{
 		FactBuild: 12 * time.Millisecond,
+		PointsTo:  3 * time.Millisecond,
 		Rules: []analysis.RuleStat{
 			{Rule: "determinism", Time: 1500 * time.Microsecond, Findings: 2},
 			{Rule: "errflow", Time: 25 * time.Millisecond, Findings: 0},
 		},
+		RuleWall: 9 * time.Millisecond,
+		RuleSeq:  26500 * time.Microsecond,
+		Workers:  4,
 	}
 
 	var plain bytes.Buffer
 	analysis.WriteStats(&plain, stats)
-	for _, want := range []string{"fact build: 12.0ms", "determinism", "2 finding(s)", "errflow"} {
+	for _, want := range []string{
+		"fact build: 12.0ms (points-to 3.0ms)", "determinism", "2 finding(s)", "errflow",
+		"rule phase: 9.0ms wall on 4 worker(s), 26.5ms sequential",
+	} {
 		if !strings.Contains(plain.String(), want) {
 			t.Errorf("plain stats missing %q:\n%s", want, plain.String())
 		}
@@ -76,7 +83,10 @@ func TestWriteStats(t *testing.T) {
 
 	var md bytes.Buffer
 	analysis.WriteStatsMarkdown(&md, stats)
-	for _, want := range []string{"### pbcheck timing", "| determinism | 1.5ms | 2 |", "| errflow | 25.0ms | 0 |"} {
+	for _, want := range []string{
+		"### pbcheck timing", "| determinism | 1.5ms | 2 |", "| errflow | 25.0ms | 0 |",
+		"points-to 3.0ms", "rule phase: 9.0ms wall on 4 worker(s)",
+	} {
 		if !strings.Contains(md.String(), want) {
 			t.Errorf("markdown stats missing %q:\n%s", want, md.String())
 		}
@@ -86,7 +96,10 @@ func TestWriteStats(t *testing.T) {
 	if err := analysis.WriteJSON(&js, "", nil, stats); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{`"fact_build_ms": 12`, `"rule": "determinism"`, `"findings": 2`} {
+	for _, want := range []string{
+		`"fact_build_ms": 12`, `"points_to_ms": 3`, `"rule": "determinism"`, `"findings": 2`,
+		`"rule_wall_ms": 9`, `"rule_sequential_ms": 26.5`, `"workers": 4`,
+	} {
 		if !strings.Contains(js.String(), want) {
 			t.Errorf("JSON stats missing %q:\n%s", want, js.String())
 		}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -30,6 +31,9 @@ type suppression struct {
 	line   int // line the comment sits on; covers line and line+1
 	rules  map[string]bool
 	reason string
+	// position is the comment's own location, where the stale-waiver
+	// check reports.
+	position token.Position
 }
 
 // scanSuppressions parses every //pbcheck:ignore comment in the
@@ -80,10 +84,11 @@ func scanSuppressions(pkg *Package, known map[string]bool) ([]suppression, []Dia
 				}
 				pos := pkg.Fset.Position(c.Pos())
 				sups = append(sups, suppression{
-					file:   pos.Filename,
-					line:   pos.Line,
-					rules:  rules,
-					reason: strings.TrimSpace(strings.Join(fields[1:], " ")),
+					file:     pos.Filename,
+					line:     pos.Line,
+					rules:    rules,
+					reason:   strings.TrimSpace(strings.Join(fields[1:], " ")),
+					position: pos,
 				})
 			}
 		}
@@ -92,22 +97,72 @@ func scanSuppressions(pkg *Package, known map[string]bool) ([]suppression, []Dia
 }
 
 // applySuppressions marks diagnostics covered by a suppression. The
-// reserved "ignore" rule is never suppressible.
-func applySuppressions(diags []Diagnostic, sups []suppression) {
+// reserved "ignore" rule is never suppressible. The returned slice
+// flags, per suppression, whether it suppressed at least one
+// diagnostic — input to the stale-waiver check.
+func applySuppressions(diags []Diagnostic, sups []suppression) []bool {
+	fired := make([]bool, len(sups))
 	for i := range diags {
 		d := &diags[i]
 		if d.Rule == IgnoreRule {
 			continue
 		}
-		for _, s := range sups {
+		// A waiver trailing the finding's own line beats one sitting on
+		// the line above: the closer claim wins, and the line-above
+		// waiver stays attributable to its own line's finding.
+		match := -1
+		for j, s := range sups {
 			if s.file != d.Position.Filename || !s.rules[d.Rule] {
 				continue
 			}
-			if d.Position.Line == s.line || d.Position.Line == s.line+1 {
-				d.Suppressed = true
-				d.Reason = s.reason
+			if d.Position.Line == s.line {
+				match = j
 				break
 			}
+			if d.Position.Line == s.line+1 && match < 0 {
+				match = j
+			}
+		}
+		if match >= 0 {
+			d.Suppressed = true
+			d.Reason = sups[match].reason
+			fired[match] = true
 		}
 	}
+	return fired
+}
+
+// staleWaivers flags every suppression that did nothing: it suppressed
+// no diagnostic this run AND cut no fact during seeding, while every
+// rule it names was selected (so the absence of findings is evidence,
+// not a consequence of a -rules subset). A waiver that has gone stale
+// is a claim nobody is checking anymore — left in place it would
+// silently swallow the next real finding on its line.
+func staleWaivers(facts *FactIndex, sups []suppression, fired []bool, known map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for i, s := range sups {
+		if fired[i] {
+			continue
+		}
+		stale := true
+		names := make([]string, 0, len(s.rules))
+		for rule := range s.rules {
+			if !known[rule] || facts.WaiverUsedAt(s.file, s.line, rule) {
+				stale = false
+				break
+			}
+			names = append(names, rule)
+		}
+		if !stale {
+			continue
+		}
+		sort.Strings(names)
+		out = append(out, Diagnostic{
+			Rule:     IgnoreRule,
+			Position: s.position,
+			Message: "stale //pbcheck:ignore: " + strings.Join(names, ",") +
+				" reports nothing on this or the next line; delete the waiver so it cannot mask a future regression",
+		})
+	}
+	return out
 }

@@ -61,3 +61,46 @@ func TestDeterministicOrdering(t *testing.T) {
 		t.Errorf("JSON output depends on package order:\n--- forward ---\n%s--- reversed ---\n%s", jsonFwd, jsonRev)
 	}
 }
+
+// TestWorkerCountInvariance pins the parallel driver's contract: any
+// phase-2 worker count yields byte-identical diagnostics — only the
+// timing fields may move.
+func TestWorkerCountInvariance(t *testing.T) {
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dirs []string
+	for _, d := range []string{"locksafe", "leakygo", "racecheck", "chansafe", "errflow"} {
+		abs, err := filepath.Abs(filepath.Join("rules", "testdata", d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dirs = append(dirs, abs)
+	}
+	pkgs, err := loader.Load(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) string {
+		diags, stats, err := analysis.RunUniverseTimedWorkers(pkgs, loader.Universe(), rules.All(), workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers >= 1 && stats.Workers > workers {
+			t.Errorf("stats.Workers = %d, want at most the requested %d", stats.Workers, workers)
+		}
+		var plain bytes.Buffer
+		analysis.WritePlain(&plain, loader.Root, diags, true)
+		return plain.String()
+	}
+	sequential := render(1)
+	if sequential == "" {
+		t.Fatal("seeded packages produced no output; the invariance test needs findings to compare")
+	}
+	for _, workers := range []int{2, 8, 0} {
+		if got := render(workers); got != sequential {
+			t.Errorf("output at %d workers differs from sequential:\n--- parallel ---\n%s--- sequential ---\n%s", workers, got, sequential)
+		}
+	}
+}

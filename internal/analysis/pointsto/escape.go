@@ -1,0 +1,211 @@
+package pointsto
+
+import "go/types"
+
+// computeEscapes classifies every abstract object against the four
+// escape routes by breadth-first traversal from the route's roots
+// over the solved points-to graph: an object's payload cell makes its
+// contents reachable, so whatever an escaping object holds escapes
+// too. Roots are visited in generation order and points-to sets in
+// sorted ID order, so the first why-chain and spawn attribution an
+// object receives are deterministic.
+//
+// Two deliberate asymmetries implement the reporting policy:
+//
+//   - the external object's payload is traversed only by the Unknown
+//     route. Foreign code may alias anything with anything, and
+//     letting that possibility bleed into the Global or Goroutine
+//     routes would mark most of the module shared; EscUnknown already
+//     vetoes ownership, which is the sound consequence.
+//   - the Goroutine route does not descend through channel payloads:
+//     a value received from a channel is owned by the receiving
+//     goroutine (the ownership-transfer idiom), not shared state.
+//     Sends still heap-escape via the Heap route.
+func (g *gen) computeEscapes() {
+	// Freeze points-to sets into sorted slices (bitset iteration is
+	// already ascending). Nodes collapsed into a cycle representative
+	// share the representative's slice.
+	g.sorted = make([][]int32, g.numNodes)
+	for n := 0; n < g.numNodes; n++ {
+		if g.find(n) != n {
+			continue
+		}
+		var ids []int32
+		g.pts[n].forEach(func(id int32) { ids = append(ids, id) })
+		g.sorted[n] = ids
+	}
+	for n := 0; n < g.numNodes; n++ {
+		if r := g.find(n); r != n {
+			g.sorted[n] = g.sorted[r]
+		}
+	}
+	g.captured = make(map[*types.Var]*Spawn)
+	g.spawnRootMap = make(map[*types.Func]*Spawn)
+
+	// Global: reachable from a package-level variable.
+	for _, v := range g.globalVars {
+		why := "package-level var " + qualVar(v)
+		for _, id := range g.ptsOf(g.nodeOf(v)) {
+			g.markGlobal(g.objects[id], why)
+		}
+	}
+
+	// Goroutine: reachable by a spawned goroutine.
+	for _, rec := range g.spawns {
+		why := "shared with the goroutine spawned in " + rec.spawn.Fn
+		if rec.callee != nil {
+			if _, ok := g.spawnRootMap[rec.callee]; !ok {
+				g.spawnRootMap[rec.callee] = rec.spawn
+			}
+		}
+		for _, an := range rec.argNodes {
+			for _, id := range g.ptsOf(an) {
+				g.markGoroutine(g.objects[id], why, rec.spawn)
+			}
+		}
+		if rec.funNode >= 0 {
+			for _, id := range g.ptsOf(rec.funNode) {
+				o := g.objects[id]
+				g.markGoroutine(o, why, rec.spawn)
+				for _, v := range o.captures {
+					if _, ok := g.captured[v]; !ok {
+						g.captured[v] = rec.spawn
+					}
+					if sh, ok := g.shadow[v]; ok {
+						g.markGoroutine(sh, why+" (captures &"+v.Name()+")", rec.spawn)
+					}
+					for _, cid := range g.ptsOf(g.nodeOf(v)) {
+						g.markGoroutine(g.objects[cid], why+" (captures "+v.Name()+")", rec.spawn)
+					}
+				}
+			}
+		}
+	}
+
+	// Heap: returned or sent on a channel.
+	for _, root := range g.heapRoots {
+		verb := "returned from "
+		if root.viaChannel {
+			verb = "sent on a channel in "
+		}
+		for _, id := range g.ptsOf(root.node) {
+			g.markHeap(g.objects[id], verb+root.fn, root.viaChannel)
+		}
+	}
+
+	// Unknown: stored where a callee outside the module can see it.
+	for _, id := range g.ptsOf(g.extCell) {
+		g.markUnknown(g.objects[id], "reaches memory outside the analyzed module")
+	}
+
+	for _, o := range g.objects {
+		if o.heapChan && !o.heapReturn {
+			o.heapViaChannelOnly = true
+		}
+	}
+}
+
+func (g *gen) ptsOf(n int) []int32 {
+	if n < 0 || n >= len(g.sorted) {
+		return nil
+	}
+	return g.sorted[n]
+}
+
+// The mark functions test the already-marked guard BEFORE building
+// the child's why-chain string: the chains exist only for the first
+// (deterministic) marking, and concatenating one for every revisit of
+// an already-marked object used to dominate the whole analysis'
+// allocation profile.
+
+func (g *gen) markGlobal(o *Object, why string) {
+	if o.esc.Has(EscGlobal) {
+		return
+	}
+	o.esc |= EscGlobal
+	o.whyGlobal = why
+	if o.Kind == KindExternal {
+		return // see the policy note above
+	}
+	for _, id := range g.ptsOf(g.cellOf[o.ID]) {
+		if c := g.objects[id]; !c.esc.Has(EscGlobal) {
+			g.markGlobal(c, why+" → "+c.Label)
+		}
+	}
+}
+
+func (g *gen) markGoroutine(o *Object, why string, sp *Spawn) {
+	if o.esc.Has(EscGoroutine) {
+		return
+	}
+	o.esc |= EscGoroutine
+	o.whyGoroutine = why
+	o.spawn = sp
+	if o.Kind == KindExternal || o.isChan {
+		return // ext: aliasing unknowable; chan: ownership transfer
+	}
+	for _, id := range g.ptsOf(g.cellOf[o.ID]) {
+		if c := g.objects[id]; !c.esc.Has(EscGoroutine) {
+			g.markGoroutine(c, why+" → "+c.Label, sp)
+		}
+	}
+}
+
+func (g *gen) markHeap(o *Object, why string, viaChan bool) {
+	seen := (viaChan && o.heapChan) || (!viaChan && o.heapReturn)
+	if seen {
+		return
+	}
+	if viaChan {
+		o.heapChan = true
+	} else {
+		o.heapReturn = true
+	}
+	if !o.esc.Has(EscHeap) {
+		o.esc |= EscHeap
+		o.whyHeap = why
+	}
+	if o.Kind == KindExternal {
+		return
+	}
+	for _, id := range g.ptsOf(g.cellOf[o.ID]) {
+		c := g.objects[id]
+		if (viaChan && c.heapChan) || (!viaChan && c.heapReturn) {
+			continue
+		}
+		g.markHeap(c, why+" → "+c.Label, viaChan)
+	}
+}
+
+func (g *gen) markUnknown(o *Object, why string) {
+	if o.esc.Has(EscUnknown) {
+		return
+	}
+	o.esc |= EscUnknown
+	o.whyUnknown = why
+	for _, id := range g.ptsOf(g.cellOf[o.ID]) {
+		if c := g.objects[id]; !c.esc.Has(EscUnknown) {
+			g.markUnknown(c, why+" → "+c.Label)
+		}
+	}
+}
+
+func (g *gen) result() *Result {
+	return &Result{
+		objects:        g.objects,
+		varNode:        g.varNode,
+		shadow:         g.shadow,
+		pts:            g.sorted,
+		captured:       g.captured,
+		spawnRoots:     g.spawnRootMap,
+		numNodes:       g.numNodes,
+		numConstraints: g.numCons,
+	}
+}
+
+func qualVar(v *types.Var) string {
+	if v.Pkg() != nil {
+		return v.Pkg().Name() + "." + v.Name()
+	}
+	return v.Name()
+}

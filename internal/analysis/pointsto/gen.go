@@ -1,0 +1,1368 @@
+package pointsto
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math/bits"
+)
+
+// funcCtx is one function body being generated: a declared function,
+// a function literal, or a package's initializer scope.
+type funcCtx struct {
+	u    *Unit
+	fn   *types.Func // nil at package scope and inside literals
+	name string      // display name, e.g. "runner.Evaluate"
+	sig  *types.Signature
+	body *ast.BlockStmt
+	// results holds the node per result slot; returns copy into them
+	// and call sites copy out of them.
+	results []int
+}
+
+// spawnRec is one go statement awaiting escape classification.
+type spawnRec struct {
+	spawn *Spawn
+	// argNodes are the evaluated argument (and receiver) nodes; their
+	// points-to sets escape to the goroutine.
+	argNodes []int
+	// funNode is the callee expression's node; function-literal
+	// objects found in it have their captures escape.
+	funNode int
+	// callee is the statically resolved module function, if any.
+	callee *types.Func
+}
+
+// rootRec seeds one heap-escape route.
+type rootRec struct {
+	node int
+	fn   string
+	// viaChannel distinguishes channel sends (ownership transfer)
+	// from returns and parameter stores.
+	viaChannel bool
+}
+
+// bitset is a dense object-ID set: bit i set means object i is a
+// member. Points-to sets live on the solver's hottest path, and a
+// word-wise union there beats hashing every element by well over an
+// order of magnitude.
+type bitset []uint64
+
+// add sets bit i, growing as needed, and reports whether it was new.
+func (b *bitset) add(i int32) bool {
+	w, m := int(i>>6), uint64(1)<<(uint32(i)&63)
+	if w >= len(*b) {
+		nb := make(bitset, w+1)
+		copy(nb, *b)
+		*b = nb
+	}
+	if (*b)[w]&m != 0 {
+		return false
+	}
+	(*b)[w] |= m
+	return true
+}
+
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forEach visits the member IDs in ascending order.
+func (b bitset) forEach(f func(id int32)) {
+	for w, word := range b {
+		for word != 0 {
+			f(int32(w<<6 + bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+}
+
+type gen struct {
+	units []*Unit
+
+	// nodes
+	numNodes int
+	varNode  map[*types.Var]int
+	pts      []bitset
+	delta    []bitset
+
+	// graph
+	copyEdges [][]int32
+	edgeSeen  map[int64]bool
+	loads     map[int][]int32 // ptr node -> dst nodes
+	stores    map[int][]int32 // ptr node -> src nodes
+	numCons   int
+
+	// objects
+	objects []*Object
+	cellOf  []int // object ID -> cell node
+	shadow  map[*types.Var]*Object
+	extObj  *Object
+	extCell int
+
+	// functions
+	funcs      []*funcCtx
+	funcBodies map[*types.Func]*funcCtx
+	litCtx     map[*ast.FuncLit]*funcCtx
+	named      []*types.Named
+
+	// escape roots, in deterministic generation order
+	globalVars []*types.Var
+	spawns     []*spawnRec
+	heapRoots  []rootRec
+
+	// escape-phase state
+	sorted       [][]int32
+	captured     map[*types.Var]*Spawn
+	spawnRootMap map[*types.Func]*Spawn
+
+	// per-function expression memo, reset for each funcCtx walk
+	memo map[ast.Expr]int
+	// exprList memo for calls (multi-result)
+	callMemo map[*ast.CallExpr][]int
+
+	worklist []int
+	inWL     []bool
+
+	// rep is the union-find forest of the cycle-collapse optimization:
+	// every node in a copy-edge cycle shares one representative whose
+	// pts set stands for the whole strongly connected component (the
+	// members' sets are provably equal at fixpoint, so collapsing
+	// loses nothing). nil until solve starts; find is identity before.
+	rep []int32
+	// popsSinceCollapse triggers periodic re-collapse: load/store
+	// materialization keeps adding edges, so new cycles form while
+	// solving.
+	popsSinceCollapse int
+}
+
+func newGen() *gen {
+	g := &gen{
+		varNode:    make(map[*types.Var]int),
+		edgeSeen:   make(map[int64]bool),
+		loads:      make(map[int][]int32),
+		stores:     make(map[int][]int32),
+		shadow:     make(map[*types.Var]*Object),
+		funcBodies: make(map[*types.Func]*funcCtx),
+		litCtx:     make(map[*ast.FuncLit]*funcCtx),
+	}
+	// The external object: the sound bottom for everything outside
+	// the module. Its cell contains itself, so loads from unknown
+	// memory yield unknown memory.
+	g.extObj = g.newObject(KindExternal, token.NoPos, "memory outside the module", nil)
+	g.extCell = g.cellOf[g.extObj.ID]
+	g.addAddr(g.extCell, g.extObj)
+	return g
+}
+
+func (g *gen) newNode() int {
+	n := g.numNodes
+	g.numNodes++
+	g.pts = append(g.pts, nil)
+	g.delta = append(g.delta, nil)
+	g.copyEdges = append(g.copyEdges, nil)
+	g.inWL = append(g.inWL, false)
+	return n
+}
+
+func (g *gen) nodeOf(v *types.Var) int {
+	if n, ok := g.varNode[v]; ok {
+		return n
+	}
+	n := g.newNode()
+	g.varNode[v] = n
+	return n
+}
+
+// newObject creates an abstract object and, for non-shadow kinds, a
+// fresh cell node for its payload.
+func (g *gen) newObject(kind ObjKind, pos token.Pos, label string, fc *funcCtx) *Object {
+	o := &Object{ID: len(g.objects), Kind: kind, Pos: pos, Label: label}
+	if fc != nil {
+		o.Fn = fc.name
+		o.fnObj = fc.fn
+		if fc.u != nil {
+			o.PkgPath = fc.u.Path
+		}
+	}
+	g.objects = append(g.objects, o)
+	if kind == KindShadow {
+		g.cellOf = append(g.cellOf, -1) // patched by shadowOf
+	} else {
+		g.cellOf = append(g.cellOf, g.newNode())
+	}
+	return o
+}
+
+// shadowOf returns the shadow object backing address-taken variable
+// v, creating it on first use. Its cell is v's own node: *(&v) is v.
+func (g *gen) shadowOf(v *types.Var, fc *funcCtx) *Object {
+	if o, ok := g.shadow[v]; ok {
+		return o
+	}
+	o := g.newObject(KindShadow, v.Pos(), "&"+v.Name(), fc)
+	g.cellOf[o.ID] = g.nodeOf(v)
+	g.shadow[v] = o
+	return o
+}
+
+// --- constraint primitives -------------------------------------------------
+
+// find resolves n to its union-find representative (identity before
+// solve starts), with path halving.
+func (g *gen) find(n int) int {
+	if g.rep == nil {
+		return n
+	}
+	for g.rep[n] != int32(n) {
+		g.rep[n] = g.rep[g.rep[n]]
+		n = int(g.rep[n])
+	}
+	return n
+}
+
+func (g *gen) push(n int) {
+	if !g.inWL[n] {
+		g.inWL[n] = true
+		g.worklist = append(g.worklist, n)
+	}
+}
+
+// addAddr seeds o into pts(n).
+func (g *gen) addAddr(n int, o *Object) {
+	n = g.find(n)
+	id := int32(o.ID)
+	if !g.pts[n].add(id) {
+		return
+	}
+	g.delta[n].add(id)
+	g.push(n)
+	g.numCons++
+}
+
+// addCopy adds the subset edge pts(dst) ⊇ pts(src).
+func (g *gen) addCopy(src, dst int) {
+	if src < 0 || dst < 0 {
+		return
+	}
+	src, dst = g.find(src), g.find(dst)
+	if src == dst {
+		return
+	}
+	key := int64(src)<<32 | int64(uint32(dst))
+	if g.edgeSeen[key] {
+		return
+	}
+	g.edgeSeen[key] = true
+	g.copyEdges[src] = append(g.copyEdges[src], int32(dst))
+	g.numCons++
+	// Propagate what src already has.
+	if !g.pts[src].empty() {
+		g.merge(dst, g.pts[src])
+	}
+}
+
+// addLoad: pts(dst) ⊇ cell(o) for every o ∈ pts(ptr).
+func (g *gen) addLoad(ptr, dst int) {
+	if ptr < 0 || dst < 0 {
+		return
+	}
+	ptr = g.find(ptr)
+	g.loads[ptr] = append(g.loads[ptr], int32(dst))
+	g.numCons++
+	g.pts[ptr].forEach(func(id int32) {
+		g.addCopy(g.cellOf[id], dst)
+	})
+	g.push(ptr)
+}
+
+// addStore: cell(o) ⊇ pts(src) for every o ∈ pts(ptr).
+func (g *gen) addStore(ptr, src int) {
+	if ptr < 0 || src < 0 {
+		return
+	}
+	ptr = g.find(ptr)
+	g.stores[ptr] = append(g.stores[ptr], int32(src))
+	g.numCons++
+	g.pts[ptr].forEach(func(id int32) {
+		g.addCopy(src, g.cellOf[id])
+	})
+	g.push(ptr)
+}
+
+// merge adds the objects in set to pts(dst), queueing dst on change.
+// The word-wise union is the solver's inner loop.
+func (g *gen) merge(dst int, set bitset) {
+	if len(set) == 0 {
+		return
+	}
+	dst = g.find(dst)
+	pd := g.pts[dst]
+	if len(pd) < len(set) {
+		np := make(bitset, len(set))
+		copy(np, pd)
+		pd = np
+		g.pts[dst] = pd
+	}
+	dd := g.delta[dst]
+	changed := false
+	for w, word := range set {
+		if fresh := word &^ pd[w]; fresh != 0 {
+			pd[w] |= fresh
+			if len(dd) < len(set) {
+				nd := make(bitset, len(set))
+				copy(nd, dd)
+				dd = nd
+				g.delta[dst] = dd
+			}
+			dd[w] |= fresh
+			changed = true
+		}
+	}
+	if changed {
+		g.push(dst)
+	}
+}
+
+// solve runs the worklist to the least fixpoint, materializing
+// load/store edges as pointer sets grow. Copy-edge cycles are
+// collapsed into single union-find representatives — once before
+// propagation starts and again periodically, because load/store
+// materialization keeps closing new cycles. A cycle's members all
+// end with the identical pts set at fixpoint, so one shared set is
+// both sound and exact; without the collapse the same bits bounce
+// around each cycle once per delta, which is what used to make this
+// solve take tens of seconds on the module universe.
+func (g *gen) solve() {
+	g.rep = make([]int32, g.numNodes)
+	for i := range g.rep {
+		g.rep[i] = int32(i)
+	}
+	g.collapseCycles()
+	for len(g.worklist) > 0 {
+		n := g.worklist[len(g.worklist)-1]
+		g.worklist = g.worklist[:len(g.worklist)-1]
+		g.inWL[n] = false
+		if r := g.find(n); r != n {
+			// Collapsed mid-flight; its delta moved to the rep.
+			continue
+		}
+		g.popsSinceCollapse++
+		if g.popsSinceCollapse > g.numNodes {
+			g.popsSinceCollapse = 0
+			g.collapseCycles()
+			if r := g.find(n); r != n {
+				continue
+			}
+		}
+		d := g.delta[n]
+		g.delta[n] = nil
+		if d.empty() {
+			continue
+		}
+		if len(g.loads[n]) > 0 || len(g.stores[n]) > 0 {
+			d.forEach(func(id int32) {
+				cell := g.cellOf[id]
+				for _, dst := range g.loads[n] {
+					g.addCopy(cell, int(dst))
+				}
+				for _, src := range g.stores[n] {
+					g.addCopy(int(src), cell)
+				}
+			})
+		}
+		for _, dst := range g.copyEdges[n] {
+			if d2 := g.find(int(dst)); d2 != n {
+				g.merge(d2, d)
+			}
+		}
+	}
+}
+
+// collapseCycles runs Tarjan's SCC algorithm over the representative
+// copy graph and unions every multi-node component into its smallest
+// member. The representative inherits the members' pts sets, edge
+// lists, and pending deltas, then re-queues with its full set as
+// delta so everything propagates along the inherited edges once.
+func (g *gen) collapseCycles() {
+	n := g.numNodes
+	index := make([]int32, n) // 0 = unvisited, else discovery index+1
+	low := make([]int32, n)
+	onstack := make([]bool, n)
+	stack := make([]int32, 0, 64)
+	var next int32
+	var comps [][]int32
+
+	var dfs func(v int)
+	dfs = func(v int) {
+		next++
+		index[v], low[v] = next, next
+		stack = append(stack, int32(v))
+		onstack[v] = true
+		for _, wRaw := range g.copyEdges[v] {
+			w := g.find(int(wRaw))
+			if w == v {
+				continue
+			}
+			if index[w] == 0 {
+				dfs(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onstack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []int32
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onstack[w] = false
+				comp = append(comp, w)
+				if int(w) == v {
+					break
+				}
+			}
+			if len(comp) > 1 {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if g.find(v) == v && index[v] == 0 {
+			dfs(v)
+		}
+	}
+
+	for _, comp := range comps {
+		r := comp[0]
+		for _, w := range comp {
+			if w < r {
+				r = w
+			}
+		}
+		rep := int(r)
+		for _, wID := range comp {
+			w := int(wID)
+			if w == rep {
+				continue
+			}
+			g.rep[w] = r
+			g.merge(rep, g.pts[w]) // no-ops once equal; seeds delta for new bits
+			g.pts[w], g.delta[w] = nil, nil
+			g.copyEdges[rep] = append(g.copyEdges[rep], g.copyEdges[w]...)
+			g.copyEdges[w] = nil
+			if l := g.loads[w]; len(l) > 0 {
+				g.loads[rep] = append(g.loads[rep], l...)
+				delete(g.loads, w)
+			}
+			if s := g.stores[w]; len(s) > 0 {
+				g.stores[rep] = append(g.stores[rep], s...)
+				delete(g.stores, w)
+			}
+		}
+		// Re-propagate the whole set along the inherited edges: a
+		// member may have held bits it never pushed down an edge that
+		// now belongs to the representative.
+		if !g.pts[rep].empty() {
+			d := make(bitset, len(g.pts[rep]))
+			copy(d, g.pts[rep])
+			g.delta[rep] = d
+			g.push(rep)
+		}
+	}
+}
+
+// --- collection ------------------------------------------------------------
+
+// collectPackage registers a unit's named types, package-level
+// variables, and function bodies, and generates constraints for
+// package-level initializers.
+func (g *gen) collectPackage(u *Unit) {
+	g.units = append(g.units, u)
+	if u.Types != nil {
+		scope := u.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			if tn, ok := scope.Lookup(name).(*types.TypeName); ok {
+				if n, ok := tn.Type().(*types.Named); ok && !types.IsInterface(n) {
+					g.named = append(g.named, n)
+				}
+			}
+		}
+	}
+	pkgCtx := &funcCtx{u: u, name: u.Name + ".<init>"}
+	for _, f := range u.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				if d.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range d.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, nm := range vs.Names {
+						v, ok := u.Info.Defs[nm].(*types.Var)
+						if !ok {
+							continue
+						}
+						g.globalVars = append(g.globalVars, v)
+						if i < len(vs.Values) {
+							g.memo = make(map[ast.Expr]int)
+							g.callMemo = make(map[*ast.CallExpr][]int)
+							g.genAssignNode(pkgCtx, g.nodeOf(v), vs.Values[i])
+						}
+					}
+				}
+			case *ast.FuncDecl:
+				fn, ok := u.Info.Defs[d.Name].(*types.Func)
+				if !ok || d.Body == nil {
+					continue
+				}
+				fc := &funcCtx{
+					u:    u,
+					fn:   fn,
+					name: displayName(fn),
+					sig:  fn.Type().(*types.Signature),
+					body: d.Body,
+				}
+				g.initResults(fc)
+				g.funcBodies[fn] = fc
+				g.funcs = append(g.funcs, fc)
+			}
+		}
+	}
+}
+
+// initResults allocates the result-slot nodes and seeds them as heap
+// roots (everything returned outlives the frame).
+func (g *gen) initResults(fc *funcCtx) {
+	if fc.sig == nil {
+		return
+	}
+	res := fc.sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		n := g.nodeOf(res.At(i))
+		fc.results = append(fc.results, n)
+		g.heapRoots = append(g.heapRoots, rootRec{node: n, fn: fc.name})
+	}
+}
+
+func displayName(fn *types.Func) string {
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return pkg + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + fn.Name()
+}
+
+// --- per-function generation -----------------------------------------------
+
+// genFunc walks one function body, generating constraints for every
+// statement. Function literals are processed on first encounter and
+// not descended into again.
+func (g *gen) genFunc(fc *funcCtx) {
+	g.memo = make(map[ast.Expr]int)
+	g.callMemo = make(map[*ast.CallExpr][]int)
+	g.walkBody(fc, fc.body)
+}
+
+func (g *gen) walkBody(fc *funcCtx, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.FuncLit:
+			g.exprNode(fc, s) // processes body recursively; memoized
+			return false
+		case *ast.AssignStmt:
+			g.genAssignStmt(fc, s)
+		case *ast.GenDecl:
+			if s.Tok == token.VAR {
+				for _, spec := range s.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						g.genValueSpec(fc, vs)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			cn := g.exprNode(fc, s.Chan)
+			vn := g.exprNode(fc, s.Value)
+			g.addStore(cn, vn)
+			if vn >= 0 {
+				g.heapRoots = append(g.heapRoots, rootRec{node: vn, fn: fc.name, viaChannel: true})
+			}
+		case *ast.GoStmt:
+			g.genGo(fc, s)
+		case *ast.DeferStmt:
+			g.exprCall(fc, s.Call)
+		case *ast.ReturnStmt:
+			for i, res := range s.Results {
+				rn := g.exprNode(fc, res)
+				if i < len(fc.results) {
+					g.addCopy(rn, fc.results[i])
+				}
+			}
+		case *ast.RangeStmt:
+			g.genRange(fc, s)
+		case *ast.CallExpr:
+			g.exprCall(fc, s)
+		case *ast.CompositeLit, *ast.UnaryExpr, *ast.StarExpr:
+			g.exprNode(fc, n.(ast.Expr))
+		}
+		return true
+	})
+}
+
+func (g *gen) genValueSpec(fc *funcCtx, vs *ast.ValueSpec) {
+	if len(vs.Values) == 1 && len(vs.Names) > 1 {
+		// v1, v2 := f() — multi-result.
+		if call, ok := unparen(vs.Values[0]).(*ast.CallExpr); ok {
+			rs := g.exprCall(fc, call)
+			for i, nm := range vs.Names {
+				if v, ok := fc.u.Info.Defs[nm].(*types.Var); ok && i < len(rs) {
+					g.addCopy(rs[i], g.nodeOf(v))
+				}
+			}
+			return
+		}
+	}
+	for i, nm := range vs.Names {
+		v, ok := fc.u.Info.Defs[nm].(*types.Var)
+		if !ok {
+			continue
+		}
+		if i < len(vs.Values) {
+			g.genAssignNode(fc, g.nodeOf(v), vs.Values[i])
+		}
+	}
+}
+
+func (g *gen) genAssignStmt(fc *funcCtx, s *ast.AssignStmt) {
+	if len(s.Rhs) == 1 && len(s.Lhs) > 1 {
+		rhs := unparen(s.Rhs[0])
+		switch r := rhs.(type) {
+		case *ast.CallExpr:
+			rs := g.exprCall(fc, r)
+			for i, lhs := range s.Lhs {
+				if i < len(rs) {
+					g.assignTo(fc, lhs, rs[i])
+				}
+			}
+			return
+		case *ast.TypeAssertExpr:
+			// v, ok := x.(T)
+			g.assignTo(fc, s.Lhs[0], g.exprNode(fc, r.X))
+			return
+		case *ast.UnaryExpr:
+			if r.Op == token.ARROW {
+				// v, ok := <-ch
+				g.assignTo(fc, s.Lhs[0], g.exprNode(fc, rhs))
+				return
+			}
+		case *ast.IndexExpr:
+			// v, ok := m[k]
+			g.assignTo(fc, s.Lhs[0], g.exprNode(fc, rhs))
+			return
+		}
+	}
+	for i, lhs := range s.Lhs {
+		if i < len(s.Rhs) {
+			rn := g.exprNode(fc, s.Rhs[i])
+			g.assignTo(fc, lhs, rn)
+		}
+	}
+}
+
+// genAssignNode evaluates rhs and copies it into node dst.
+func (g *gen) genAssignNode(fc *funcCtx, dst int, rhs ast.Expr) {
+	g.addCopy(g.exprNode(fc, rhs), dst)
+}
+
+// assignTo routes a value node into an lvalue, mirroring the write
+// classification of the write-effect fact: a plain variable is a
+// copy, anything crossing a pointer/slice/map boundary is a store,
+// and value-struct fields collapse into their base.
+func (g *gen) assignTo(fc *funcCtx, lhs ast.Expr, rn int) {
+	lhs = unparen(lhs)
+	switch l := lhs.(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			return
+		}
+		if v := g.identVar(fc, l); v != nil {
+			g.addCopy(rn, g.nodeOf(v))
+		}
+	case *ast.SelectorExpr:
+		if v, ok := fc.u.Info.Uses[l.Sel].(*types.Var); ok && !v.IsField() {
+			// Qualified package-level variable.
+			g.addCopy(rn, g.nodeOf(v))
+			return
+		}
+		if isPointerish(fc.u.Info.TypeOf(l.X)) {
+			g.addStore(g.exprNode(fc, l.X), rn)
+		} else {
+			g.assignTo(fc, l.X, rn) // value struct: collapse into base
+		}
+	case *ast.StarExpr:
+		g.addStore(g.exprNode(fc, l.X), rn)
+	case *ast.IndexExpr:
+		t := fc.u.Info.TypeOf(l.X)
+		if isValueArray(t) {
+			g.assignTo(fc, l.X, rn)
+		} else {
+			g.addStore(g.exprNode(fc, l.X), rn)
+			// Map keys are reachable from the map too.
+			if _, ok := coreType(t).(*types.Map); ok {
+				g.addStore(g.exprNode(fc, l.X), g.exprNode(fc, l.Index))
+			}
+		}
+	}
+}
+
+func (g *gen) identVar(fc *funcCtx, id *ast.Ident) *types.Var {
+	if v, ok := fc.u.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := fc.u.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// --- expressions -----------------------------------------------------------
+
+// exprNode returns the node holding the abstract value of e,
+// generating constraints on first visit (memoized thereafter). -1
+// means "holds no pointers we track".
+func (g *gen) exprNode(fc *funcCtx, e ast.Expr) int {
+	if n, ok := g.memo[e]; ok {
+		return n
+	}
+	g.memo[e] = -1 // cut cycles defensively
+	n := g.exprNodeUncached(fc, e)
+	g.memo[e] = n
+	return n
+}
+
+func (g *gen) exprNodeUncached(fc *funcCtx, e ast.Expr) int {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v := g.identVar(fc, x); v != nil {
+			return g.nodeOf(v)
+		}
+		return -1
+	case *ast.ParenExpr:
+		return g.exprNode(fc, x.X)
+	case *ast.UnaryExpr:
+		switch x.Op {
+		case token.AND:
+			return g.addrOf(fc, x.X, x)
+		case token.ARROW:
+			t := g.newNode()
+			g.addLoad(g.exprNode(fc, x.X), t)
+			return t
+		}
+		g.exprNode(fc, x.X)
+		return -1
+	case *ast.StarExpr:
+		t := g.newNode()
+		g.addLoad(g.exprNode(fc, x.X), t)
+		return t
+	case *ast.SelectorExpr:
+		if v, ok := fc.u.Info.Uses[x.Sel].(*types.Var); ok && !v.IsField() {
+			return g.nodeOf(v) // qualified package-level var
+		}
+		if _, ok := fc.u.Info.Uses[x.Sel].(*types.Var); !ok {
+			return -1 // method value / qualified func
+		}
+		if isPointerish(fc.u.Info.TypeOf(x.X)) {
+			t := g.newNode()
+			g.addLoad(g.exprNode(fc, x.X), t)
+			return t
+		}
+		return g.exprNode(fc, x.X) // value struct field: collapse
+	case *ast.IndexExpr:
+		t := fc.u.Info.TypeOf(x.X)
+		if t == nil || isFuncInstantiation(fc, x) {
+			return -1
+		}
+		if isValueArray(t) {
+			return g.exprNode(fc, x.X)
+		}
+		tn := g.newNode()
+		g.addLoad(g.exprNode(fc, x.X), tn)
+		return tn
+	case *ast.IndexListExpr:
+		return -1
+	case *ast.SliceExpr:
+		return g.exprNode(fc, x.X) // same backing store
+	case *ast.TypeAssertExpr:
+		return g.exprNode(fc, x.X)
+	case *ast.CompositeLit:
+		return g.compositeLit(fc, x, false)
+	case *ast.FuncLit:
+		return g.funcLit(fc, x)
+	case *ast.CallExpr:
+		rs := g.exprCall(fc, x)
+		if len(rs) > 0 {
+			return rs[0]
+		}
+		return -1
+	case *ast.BinaryExpr:
+		g.exprNode(fc, x.X)
+		g.exprNode(fc, x.Y)
+		return -1
+	}
+	return -1
+}
+
+// addrOf handles &operand.
+func (g *gen) addrOf(fc *funcCtx, operand, at ast.Expr) int {
+	operand = unparen(operand)
+	switch x := operand.(type) {
+	case *ast.CompositeLit:
+		return g.compositeLit(fc, x, true)
+	case *ast.Ident:
+		if v := g.identVar(fc, x); v != nil {
+			t := g.newNode()
+			g.addAddr(t, g.shadowOf(v, fc))
+			return t
+		}
+		return -1
+	case *ast.SelectorExpr:
+		// &x.f: a pointer into x's storage (or into what x points to).
+		if isPointerish(fc.u.Info.TypeOf(x.X)) {
+			return g.exprNode(fc, x.X)
+		}
+		return g.addrOf(fc, x.X, at)
+	case *ast.IndexExpr:
+		// &s[i]: a pointer into the backing store.
+		if isValueArray(fc.u.Info.TypeOf(x.X)) {
+			return g.addrOf(fc, x.X, at)
+		}
+		return g.exprNode(fc, x.X)
+	case *ast.StarExpr:
+		return g.exprNode(fc, x.X) // &*p is p
+	}
+	return -1
+}
+
+// compositeLit allocates an object for reference literals (slice,
+// map, and &-taken or pointer literals) and stores the element values
+// into its cell. Value struct/array literals collapse: their node
+// carries the elements' points-to sets directly.
+func (g *gen) compositeLit(fc *funcCtx, x *ast.CompositeLit, addressed bool) int {
+	var elems []int
+	for _, el := range x.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if en := g.exprNode(fc, kv.Value); en >= 0 {
+				elems = append(elems, en)
+			}
+			continue
+		}
+		if en := g.exprNode(fc, el); en >= 0 {
+			elems = append(elems, en)
+		}
+	}
+	t := fc.u.Info.TypeOf(x)
+	reference := addressed
+	switch coreType(t).(type) {
+	case *types.Slice, *types.Map:
+		reference = true
+	}
+	if !reference {
+		// Value literal: merge element pointers into one node.
+		tn := g.newNode()
+		for _, en := range elems {
+			g.addCopy(en, tn)
+		}
+		return tn
+	}
+	label := types.ExprString(x.Type)
+	if addressed {
+		label = "&" + label + "{…}"
+	} else {
+		label += "{…}"
+	}
+	o := g.newObject(KindAlloc, x.Lbrace, trunc(label), fc)
+	cell := g.cellOf[o.ID]
+	for _, en := range elems {
+		g.addCopy(en, cell)
+	}
+	tn := g.newNode()
+	g.addAddr(tn, o)
+	return tn
+}
+
+// funcLit allocates the closure object, records its free variables,
+// and generates constraints for its body under a fresh context.
+func (g *gen) funcLit(fc *funcCtx, lit *ast.FuncLit) int {
+	sig, _ := fc.u.Info.TypeOf(lit).(*types.Signature)
+	sub := &funcCtx{
+		u:    fc.u,
+		fn:   fc.fn, // allocations inside attribute to the enclosing function
+		name: fc.name,
+		sig:  sig,
+		body: lit.Body,
+	}
+	g.initResults(sub)
+	g.litCtx[lit] = sub
+
+	o := g.newObject(KindAlloc, lit.Pos(), "func literal", fc)
+	o.captures = g.freeVars(fc, lit)
+	// The captured variables' storage is part of the closure: anything
+	// they point to is reachable from the closure object.
+	cell := g.cellOf[o.ID]
+	for _, v := range o.captures {
+		g.addCopy(g.nodeOf(v), cell)
+	}
+	g.walkBody(sub, lit.Body)
+
+	tn := g.newNode()
+	g.addAddr(tn, o)
+	return tn
+}
+
+// freeVars returns the function-scoped variables used inside lit but
+// declared outside it, in first-use order.
+func (g *gen) freeVars(fc *funcCtx, lit *ast.FuncLit) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := fc.u.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() || seen[v] {
+			return true
+		}
+		if v.Parent() == nil || v.Pkg() == nil {
+			return true
+		}
+		// Package-level variables are shared anyway; captures are
+		// function-locals declared outside the literal.
+		if v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			seen[v] = true
+			out = append(out, v)
+		}
+		return true
+	})
+	return out
+}
+
+// genGo records the spawn and generates the call's constraints.
+func (g *gen) genGo(fc *funcCtx, s *ast.GoStmt) {
+	call := s.Call
+	ls, le, inLoop := SpawnLoop(fc.body, s.Go)
+	rec := &spawnRec{
+		spawn: &Spawn{
+			Pos:       s.Go,
+			Fn:        fc.name,
+			PkgPath:   fc.u.Path,
+			InLoop:    inLoop,
+			LoopStart: ls,
+			LoopEnd:   le,
+		},
+		funNode: g.exprNode(fc, call.Fun),
+	}
+	for _, arg := range call.Args {
+		if an := g.exprNode(fc, arg); an >= 0 {
+			rec.argNodes = append(rec.argNodes, an)
+		}
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// Method call: the receiver crosses into the goroutine too.
+		if rn := g.exprNode(fc, sel.X); rn >= 0 {
+			rec.argNodes = append(rec.argNodes, rn)
+		}
+	}
+	if fn := g.staticCallee(fc, call); fn != nil {
+		rec.callee = fn
+	}
+	g.exprCall(fc, call)
+	g.spawns = append(g.spawns, rec)
+}
+
+func (g *gen) genRange(fc *funcCtx, s *ast.RangeStmt) {
+	xn := g.exprNode(fc, s.X)
+	bind := func(e ast.Expr) {
+		if e == nil {
+			return
+		}
+		// Elements live in the range operand's cell; for collapsed
+		// value arrays they live in the operand node itself.
+		t := g.newNode()
+		g.addLoad(xn, t)
+		g.addCopy(xn, t)
+		g.assignTo(fc, e, t)
+	}
+	bind(s.Key)
+	bind(s.Value)
+}
+
+// --- calls -----------------------------------------------------------------
+
+// staticCallee resolves a call to a module function with a body.
+func (g *gen) staticCallee(fc *funcCtx, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch f := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = fc.u.Info.Uses[f]
+	case *ast.SelectorExpr:
+		obj = fc.u.Info.Uses[f.Sel]
+	case *ast.IndexExpr: // generic instantiation
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			obj = fc.u.Info.Uses[id]
+		}
+	case *ast.IndexListExpr:
+		if id, ok := unparen(f.X).(*ast.Ident); ok {
+			obj = fc.u.Info.Uses[id]
+		}
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if _, ok := g.funcBodies[fn]; !ok {
+		return nil
+	}
+	return fn
+}
+
+// exprCall generates argument/result flow for one call and returns
+// the per-result value nodes.
+func (g *gen) exprCall(fc *funcCtx, call *ast.CallExpr) []int {
+	if rs, ok := g.callMemo[call]; ok {
+		return rs
+	}
+	g.callMemo[call] = nil // cut cycles
+	rs := g.exprCallUncached(fc, call)
+	g.callMemo[call] = rs
+	return rs
+}
+
+func (g *gen) exprCallUncached(fc *funcCtx, call *ast.CallExpr) []int {
+	info := fc.u.Info
+	fun := unparen(call.Fun)
+
+	// Conversion: T(x) passes the pointer through.
+	if tv, ok := info.Types[fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return []int{g.exprNode(fc, call.Args[0])}
+		}
+		return nil
+	}
+
+	// Builtin.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return g.builtinCall(fc, call, b.Name())
+		}
+	}
+
+	// Static module function.
+	if fn := g.staticCallee(fc, call); fn != nil {
+		callee := g.funcBodies[fn]
+		g.bindCall(fc, call, callee.sig, fn)
+		return callee.results
+	}
+
+	// Function-literal called in place: func(){...}(args).
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		g.exprNode(fc, lit)
+		sub := g.litCtx[lit]
+		if sub != nil {
+			g.bindArgs(fc, call, sub.sig)
+			return sub.results
+		}
+		return nil
+	}
+
+	// Interface method call: class-hierarchy resolution over the
+	// module's named types, mirroring the fact engine.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if recvT := info.TypeOf(sel.X); recvT != nil && types.IsInterface(recvT) {
+			if rs := g.chaCall(fc, call, sel); rs != nil {
+				return rs
+			}
+		}
+	}
+
+	// Unknown callee: everything flows through the external object.
+	return g.unknownCall(fc, call)
+}
+
+// bindCall copies the receiver and arguments into the callee's
+// parameters.
+func (g *gen) bindCall(fc *funcCtx, call *ast.CallExpr, sig *types.Signature, fn *types.Func) {
+	if sig.Recv() != nil {
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			g.addCopy(g.exprNode(fc, sel.X), g.nodeOf(sig.Recv()))
+		}
+	}
+	g.bindArgs(fc, call, sig)
+}
+
+func (g *gen) bindArgs(fc *funcCtx, call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	np := params.Len()
+	variadic := sig.Variadic()
+	for i, arg := range call.Args {
+		an := g.exprNode(fc, arg)
+		if an < 0 {
+			continue
+		}
+		switch {
+		case variadic && i >= np-1:
+			pn := g.nodeOf(params.At(np - 1))
+			if call.Ellipsis.IsValid() {
+				g.addCopy(an, pn) // xs... passes the slice itself
+			} else {
+				g.addStore(pn, an) // element of the implicit slice
+				g.variadicBacking(pn, call)
+			}
+		case i < np:
+			g.addCopy(an, g.nodeOf(params.At(i)))
+		}
+	}
+}
+
+// variadicBacking ensures the variadic parameter has a backing object
+// to store elements into.
+func (g *gen) variadicBacking(pn int, call *ast.CallExpr) {
+	if g.pts[pn].empty() {
+		o := g.newObject(KindAlloc, call.Lparen, "variadic args", nil)
+		g.addAddr(pn, o)
+	}
+}
+
+// chaCall binds an interface method call to every module
+// implementation. Returns nil when no module type implements the
+// interface (fall through to unknown).
+func (g *gen) chaCall(fc *funcCtx, call *ast.CallExpr, sel *ast.SelectorExpr) []int {
+	recvT := fc.u.Info.TypeOf(sel.X)
+	iface, ok := recvT.Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []int
+	bound := false
+	for _, n := range g.named {
+		impl := types.Implements(n, iface) || types.Implements(types.NewPointer(n), iface)
+		if !impl {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(n), true, n.Obj().Pkg(), sel.Sel.Name)
+		m, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		callee, ok := g.funcBodies[m]
+		if !ok {
+			continue
+		}
+		bound = true
+		if callee.sig.Recv() != nil {
+			g.addCopy(g.exprNode(fc, sel.X), g.nodeOf(callee.sig.Recv()))
+		}
+		g.bindArgs(fc, call, callee.sig)
+		out = append(out, callee.results...)
+	}
+	if !bound {
+		return nil
+	}
+	// Merge the per-implementation results into per-slot nodes.
+	sig, _ := fc.u.Info.TypeOf(sel.Sel).(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	nres := sig.Results().Len()
+	merged := make([]int, nres)
+	for i := range merged {
+		merged[i] = g.newNode()
+	}
+	k := 0
+	for _, rn := range out {
+		g.addCopy(rn, merged[k%max(nres, 1)])
+		k++
+	}
+	return merged
+}
+
+// unknownCall routes arguments into the external object and results
+// out of it: the sound treatment of callees outside the module.
+func (g *gen) unknownCall(fc *funcCtx, call *ast.CallExpr) []int {
+	for _, arg := range call.Args {
+		if an := g.exprNode(fc, arg); an >= 0 {
+			g.addCopy(an, g.extCell)
+		}
+	}
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		// A foreign method may retain its receiver.
+		if _, isPkg := fc.u.Info.Uses[sel.Sel].(*types.Func); isPkg {
+			if rn := g.exprNode(fc, sel.X); rn >= 0 {
+				g.addCopy(rn, g.extCell)
+			}
+		}
+	} else if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		_ = id
+	} else {
+		// Indirect call through a function value: args may be retained
+		// by any closure; fold into ext.
+		if fn := g.exprNode(fc, call.Fun); fn >= 0 {
+			g.addCopy(fn, g.extCell)
+		}
+	}
+	nres := 1
+	if tv, ok := fc.u.Info.Types[call]; ok {
+		if tup, ok := tv.Type.(*types.Tuple); ok {
+			nres = tup.Len()
+		}
+	}
+	out := make([]int, nres)
+	for i := range out {
+		t := g.newNode()
+		g.addCopy(g.extCell, t)
+		out[i] = t
+	}
+	return out
+}
+
+func (g *gen) builtinCall(fc *funcCtx, call *ast.CallExpr, name string) []int {
+	switch name {
+	case "make":
+		t := fc.u.Info.TypeOf(call)
+		o := g.newObject(KindAlloc, call.Lparen, trunc("make("+types.ExprString(call.Args[0])+")"), fc)
+		if _, ok := coreType(t).(*types.Chan); ok {
+			o.isChan = true
+		}
+		tn := g.newNode()
+		g.addAddr(tn, o)
+		return []int{tn}
+	case "new":
+		o := g.newObject(KindAlloc, call.Lparen, trunc("new("+types.ExprString(call.Args[0])+")"), fc)
+		tn := g.newNode()
+		g.addAddr(tn, o)
+		return []int{tn}
+	case "append":
+		base := g.exprNode(fc, call.Args[0])
+		tn := g.newNode()
+		g.addCopy(base, tn)
+		o := g.newObject(KindAlloc, call.Lparen, "append", fc)
+		g.addAddr(tn, o)
+		for _, arg := range call.Args[1:] {
+			an := g.exprNode(fc, arg)
+			if an < 0 {
+				continue
+			}
+			if call.Ellipsis.IsValid() {
+				// append(s, xs...): element flow between backings.
+				el := g.newNode()
+				g.addLoad(an, el)
+				g.addStore(tn, el)
+			} else {
+				g.addStore(tn, an)
+			}
+		}
+		return []int{tn}
+	case "copy":
+		if len(call.Args) == 2 {
+			dst := g.exprNode(fc, call.Args[0])
+			src := g.exprNode(fc, call.Args[1])
+			el := g.newNode()
+			g.addLoad(src, el)
+			g.addStore(dst, el)
+		}
+		return nil
+	default:
+		for _, arg := range call.Args {
+			g.exprNode(fc, arg)
+		}
+		return nil
+	}
+}
+
+// --- type helpers ----------------------------------------------------------
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func coreType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+// isPointerish reports whether indexing/selecting through a value of
+// type t crosses a heap boundary (so writes are stores, reads loads).
+func isPointerish(t types.Type) bool {
+	switch coreType(t).(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// isValueArray reports whether t is a plain array or other value type
+// whose elements collapse into the base node.
+func isValueArray(t types.Type) bool {
+	switch coreType(t).(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return false
+	}
+	return true
+}
+
+func isFuncInstantiation(fc *funcCtx, x *ast.IndexExpr) bool {
+	tv, ok := fc.u.Info.Types[x]
+	if !ok {
+		return false
+	}
+	_, isSig := tv.Type.(*types.Signature)
+	return isSig
+}
+
+func trunc(s string) string {
+	if len(s) > 48 {
+		return s[:45] + "…"
+	}
+	return s
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,422 @@
+// Package pointsto is the alias layer of the static-analysis suite: a
+// stdlib-only, flow-insensitive, context-insensitive Andersen-style
+// points-to and escape analysis over the whole module universe. Like
+// the rest of internal/analysis it is built on go/ast + go/types
+// alone — no golang.org/x/tools, no SSA — so the alias facts that
+// gate the PB pipeline's bit-identity run anywhere the Go toolchain
+// runs.
+//
+// The model is the classic inclusion-constraint one:
+//
+//   - every allocation site (make, new, composite literal, &T{...},
+//     function literal, fresh append) is one abstract Object;
+//   - every variable of the universe is one node holding a points-to
+//     set of Objects;
+//   - each Object carries one field-insensitive payload cell standing
+//     for all of its fields and elements (a struct collapses into its
+//     object, a slice into its backing array, a channel into its
+//     element slot);
+//   - assignments generate subset constraints between nodes:
+//     p = q      copy      pts(p) ⊇ pts(q)
+//     p = &x     address   pts(p) ∋ shadow(x), cell(shadow(x)) = x
+//     p = *q     load      pts(p) ⊇ cell(o)      for every o ∈ pts(q)
+//     *p = q     store     cell(o) ⊇ pts(q)      for every o ∈ pts(p)
+//     and calls copy arguments into parameters and results back into
+//     the call's left-hand sides (static module calls and
+//     class-hierarchy-resolved module interface calls; everything
+//     else flows through the external object, the sound bottom).
+//
+// Channel operations are stores/loads on the channel object's cell,
+// so a value sent on a channel aliases every receive from any channel
+// the send may reach — exactly the ownership-transfer edge the
+// racecheck analyzer needs to see.
+//
+// The solver (solve) runs the standard worklist algorithm with
+// on-the-fly load/store edge materialization. The least fixpoint of
+// an inclusion system is unique, so points-to sets are deterministic
+// regardless of iteration order; node and object IDs are assigned in
+// sorted-package/file/position order so the escape why-chains that
+// surface verbatim in diagnostics are byte-stable too.
+//
+// On top of the fixpoint, escape.go classifies every Object against
+// three escape sinks — package-level variables, spawned goroutines,
+// and unknown callees — and summarizes, per function, which of its
+// allocations leak where. Those summaries power the racecheck
+// analyzer ("is this write target shared with a goroutine, and
+// spawned where?") and the ownership upgrade in the write-effect fact
+// ("is this local provably frame-private?"), replacing the syntactic
+// make/new whitelist with a proof.
+package pointsto
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// A Unit is one parsed, type-checked package fed to the analysis. It
+// mirrors analysis.Package structurally so the two packages stay
+// decoupled (analysis imports pointsto, never the reverse).
+type Unit struct {
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Info  *types.Info
+	Types *types.Package
+}
+
+// An ObjKind classifies what an abstract Object stands for.
+type ObjKind uint8
+
+const (
+	// KindAlloc is a fresh allocation: make, new, a composite literal
+	// (value or &-taken), a function literal, or a growing append.
+	KindAlloc ObjKind = iota
+	// KindShadow is the implicit object backing an address-taken
+	// variable: pts(&x) = {shadow(x)} and shadow(x)'s cell is x itself.
+	KindShadow
+	// KindExternal is the single object standing for all memory the
+	// engine cannot see: foreign call results, unknown callees'
+	// effects. Anything reaching it escapes unconditionally.
+	KindExternal
+)
+
+// An EscSet is a bit set of escape routes an Object was proven to
+// take.
+type EscSet uint8
+
+const (
+	// EscGlobal: reachable from a package-level variable.
+	EscGlobal EscSet = 1 << iota
+	// EscGoroutine: reachable by a spawned goroutine (captured by a
+	// go'd function literal, passed to a go'd call, or stored where
+	// one of those can see it).
+	EscGoroutine
+	// EscHeap: outlives its allocating frame by a legitimate route —
+	// returned to the caller, stored through a parameter or receiver,
+	// or sent on a channel.
+	EscHeap
+	// EscUnknown: reaches a callee the engine cannot see through; all
+	// bets are off.
+	EscUnknown
+)
+
+// Has reports whether the set contains all bits of e.
+func (s EscSet) Has(e EscSet) bool { return s&e == e }
+
+// A Spawn identifies one go statement.
+type Spawn struct {
+	// Pos is the position of the go keyword.
+	Pos token.Pos
+	// Fn is the display name of the function containing the spawn
+	// ("runner.Evaluate", "dist.startHeartbeat"); diagnostics embed it
+	// instead of a file:line so baseline fingerprints survive drift.
+	Fn string
+	// PkgPath is the import path of the spawning package.
+	PkgPath string
+	// InLoop is true when the go statement sits inside a for or range
+	// statement of its function: the spawn runs more than once, so
+	// everything it shares FROM OUTSIDE that loop is shared between
+	// the goroutines themselves, not just with the spawner.
+	// LoopStart/LoopEnd bracket the outermost enclosing loop; memory
+	// allocated inside it is fresh per iteration and per goroutine.
+	InLoop    bool
+	LoopStart token.Pos
+	LoopEnd   token.Pos
+}
+
+// SharedAcrossIterations reports whether storage allocated (or
+// declared) at pos is one single location from the viewpoint of this
+// spawn's goroutines: the spawn repeats (InLoop) and the allocation
+// lies outside the spawn's loop, so every iteration's goroutine sees
+// the same memory. Allocations inside the loop are per-iteration.
+func (s *Spawn) SharedAcrossIterations(pos token.Pos) bool {
+	if s == nil || !s.InLoop {
+		return false
+	}
+	return !(s.LoopStart <= pos && pos < s.LoopEnd)
+}
+
+// SpawnLoop returns the extent of the outermost for or range
+// statement of body enclosing pos (a go keyword), with ok=false when
+// pos is not inside a loop. Shared by every Spawn construction site
+// so the InLoop bit means the same thing everywhere.
+func SpawnLoop(body *ast.BlockStmt, pos token.Pos) (start, end token.Pos, ok bool) {
+	if body == nil {
+		return token.NoPos, token.NoPos, false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok || n == nil {
+			return false
+		}
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n.Pos() <= pos && pos < n.End() {
+				start, end, ok = n.Pos(), n.End(), true
+				return false
+			}
+		case *ast.FuncLit:
+			// A literal's own loops don't wrap the enclosing spawn.
+			if !(n.Pos() <= pos && pos < n.End()) {
+				return false
+			}
+		}
+		return true
+	})
+	return start, end, ok
+}
+
+// An Object is one abstract memory location.
+type Object struct {
+	ID   int
+	Kind ObjKind
+	// Pos is the allocation site (or the shadowed variable's
+	// declaration).
+	Pos token.Pos
+	// Label is a short human-readable description of the site:
+	// "make(chan struct{})", "&RowError{...}", "func literal".
+	Label string
+	// Fn is the display name of the allocating function ("" for
+	// package-level allocations and the external object).
+	Fn string
+	// PkgPath is the import path of the allocating package ("" for the
+	// external object). Display names like "main.run" repeat across
+	// main packages; (PkgPath, Fn) is the unambiguous pair.
+	PkgPath string
+	// fnObj is the allocating function's types object (nil at package
+	// scope); ownership queries compare against it.
+	fnObj *types.Func
+
+	esc EscSet
+	// why records, per escape bit, the chain that established it.
+	whyGlobal    string
+	whyGoroutine string
+	whyHeap      string
+	whyUnknown   string
+	// spawn is the (deterministically first) go statement a
+	// goroutine-escaping object was captured by.
+	spawn *Spawn
+	// heapViaChannelOnly is true while every heap route the object
+	// took was a channel send: ownership handed to the receiver, not
+	// shared mutation. A later return/param-store route clears it.
+	heapViaChannelOnly bool
+	heapReturn         bool
+	heapChan           bool
+	// isChan marks channel allocations; goroutine-escape traversal
+	// does not descend through their payload (a value received from a
+	// channel is owned by the receiver, not shared).
+	isChan bool
+	// captures lists the free variables of a function-literal object,
+	// in first-use order; when the closure reaches a go statement they
+	// become goroutine-shared.
+	captures []*types.Var
+}
+
+// Escapes returns the object's escape route set.
+func (o *Object) Escapes() EscSet { return o.esc }
+
+// EscapeWhy returns the chain explaining route e ("" if absent).
+func (o *Object) EscapeWhy(e EscSet) string {
+	switch e {
+	case EscGlobal:
+		return o.whyGlobal
+	case EscGoroutine:
+		return o.whyGoroutine
+	case EscHeap:
+		return o.whyHeap
+	case EscUnknown:
+		return o.whyUnknown
+	}
+	return ""
+}
+
+// SpawnSite returns the go statement that shares a goroutine-escaping
+// object, or nil.
+func (o *Object) SpawnSite() *Spawn { return o.spawn }
+
+// Result is the computed analysis: the object universe, the points-to
+// sets, and the escape classification.
+type Result struct {
+	objects []*Object
+
+	// varNode maps every variable of the universe to its node.
+	varNode map[*types.Var]int
+	// shadow maps address-taken variables to their shadow object.
+	shadow map[*types.Var]*Object
+
+	// pts is the solved points-to set per node, as sorted object IDs.
+	pts [][]int32
+
+	// captured maps a variable to the spawns whose goroutine can see
+	// it by closure capture (free variable of a go'd function
+	// literal). Writes to such a variable race with the goroutine even
+	// though no pointer is involved.
+	captured map[*types.Var]*Spawn
+
+	// spawnRoots maps functions invoked directly by a go statement
+	// (go pkg.F(...), go recv.M(...)) to that spawn; the fact engine
+	// extends this over the call graph.
+	spawnRoots map[*types.Func]*Spawn
+
+	// globalsWritten maps package-level variables to true when any
+	// spawned function literal in the universe writes them; racecheck
+	// uses it to decide whether a global is goroutine-shared at all.
+	// (Conservatively includes writes from any function a go statement
+	// can reach only via the fact engine's spawn propagation.)
+
+	// stats
+	numNodes       int
+	numConstraints int
+	iterations     int
+}
+
+// Objects returns every abstract object in deterministic ID order.
+func (r *Result) Objects() []*Object { return r.objects }
+
+// NumNodes returns the constraint-graph size (for -stats).
+func (r *Result) NumNodes() int { return r.numNodes }
+
+// NumConstraints returns the number of generated constraints.
+func (r *Result) NumConstraints() int { return r.numConstraints }
+
+// PointsTo returns the abstract objects v may point to, in ID order.
+func (r *Result) PointsTo(v *types.Var) []*Object {
+	n, ok := r.varNode[v]
+	if !ok {
+		return nil
+	}
+	ids := r.pts[n]
+	out := make([]*Object, len(ids))
+	for i, id := range ids {
+		out[i] = r.objects[id]
+	}
+	return out
+}
+
+// CapturedBy returns the spawn whose goroutine captures v as a free
+// variable, or nil. A write to such a variable in either frame is a
+// candidate race.
+func (r *Result) CapturedBy(v *types.Var) *Spawn {
+	return r.captured[v]
+}
+
+// SharedWithGoroutine reports whether writing *through* v can touch
+// memory a spawned goroutine also reaches, returning the spawn. Used
+// for indirect writes (the lvalue path crossed a pointer, slice, map,
+// or channel).
+func (r *Result) SharedWithGoroutine(v *types.Var) *Spawn {
+	for _, o := range r.PointsTo(v) {
+		if o.esc.Has(EscGoroutine) {
+			return o.spawn
+		}
+	}
+	return nil
+}
+
+// AddrSharedWithGoroutine reports whether v's own storage is visible
+// to a spawned goroutine because its address was taken and escaped
+// there. Used for direct writes (v = ...).
+func (r *Result) AddrSharedWithGoroutine(v *types.Var) *Spawn {
+	o, ok := r.shadow[v]
+	if !ok {
+		return nil
+	}
+	if o.esc.Has(EscGoroutine) {
+		return o.spawn
+	}
+	return nil
+}
+
+// SpawnRoot returns the spawn for a function invoked directly by a go
+// statement somewhere in the universe, or nil. The fact engine
+// propagates this over the call graph (a callee of a spawned function
+// also runs on that goroutine).
+func (r *Result) SpawnRoot(fn *types.Func) *Spawn { return r.spawnRoots[fn] }
+
+// Owned reports whether every object v may point to is a fresh
+// allocation that provably never leaves the frame of fn (or reaches
+// fn only by being returned from a callee): no global, goroutine, or
+// unknown escape route, and not flowing into any of fn's own
+// parameters (which would mean the caller holds it too). Writes
+// through an owned variable are invisible outside fn — the
+// points-to-powered replacement for the syntactic make/new whitelist.
+//
+// params lists fn's parameter/receiver/named-result variables; the
+// caller (the write-effect fact) already has them at hand.
+func (r *Result) Owned(v *types.Var, fn *types.Func, params map[*types.Var]bool) bool {
+	if params[v] {
+		// A parameter (or receiver/named result) is never provably
+		// owned: callers outside the analyzed universe may pass it
+		// anything, and the flow-insensitive set cannot see rebinding.
+		return false
+	}
+	n, ok := r.varNode[v]
+	if !ok {
+		return false
+	}
+	ids := r.pts[n]
+	if len(ids) == 0 {
+		// An empty set is absence of evidence, not proof of
+		// ownership: v may alias a parameter whose callers are
+		// outside the universe.
+		return false
+	}
+	for _, id := range ids {
+		o := r.objects[id]
+		if o.Kind != KindAlloc {
+			return false
+		}
+		if o.esc.Has(EscGlobal) || o.esc.Has(EscGoroutine) || o.esc.Has(EscUnknown) {
+			return false
+		}
+		if o.fnObj != fn {
+			// Allocated elsewhere: only acceptable when it reached fn
+			// by a return (heap escape whose every route was a
+			// return), never through fn's own parameters.
+			if o.esc.Has(EscHeap) && o.heapViaChannelOnly {
+				return false
+			}
+			if !o.esc.Has(EscHeap) {
+				return false
+			}
+			for p := range params {
+				if r.contains(p, id) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// contains reports whether object id is in pts(v).
+func (r *Result) contains(v *types.Var, id int32) bool {
+	n, ok := r.varNode[v]
+	if !ok {
+		return false
+	}
+	for _, x := range r.pts[n] {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Analyze runs the whole pipeline — constraint generation, fixpoint,
+// escape classification — over the universe. Units are processed in
+// the given order; callers pass them sorted by path so IDs and
+// why-chains are deterministic.
+func Analyze(units []*Unit) *Result {
+	g := newGen()
+	for _, u := range units {
+		g.collectPackage(u)
+	}
+	for _, fc := range g.funcs {
+		g.genFunc(fc)
+	}
+	g.solve()
+	g.computeEscapes()
+	return g.result()
+}

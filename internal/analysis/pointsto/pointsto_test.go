@@ -1,0 +1,348 @@
+package pointsto
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// check type-checks one synthetic package and runs the analysis.
+func check(t *testing.T, src string) (*Unit, *Result) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.Default(), Error: func(error) {}}
+	pkg, err := conf.Check("x", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	u := &Unit{Path: "x", Name: "x", Fset: fset, Files: []*ast.File{f}, Info: info, Types: pkg}
+	return u, Analyze([]*Unit{u})
+}
+
+// varByName finds a variable anywhere in the unit by name.
+func varByName(t *testing.T, u *Unit, name string) *types.Var {
+	t.Helper()
+	for _, obj := range u.Info.Defs {
+		if v, ok := obj.(*types.Var); ok && v.Name() == name {
+			return v
+		}
+	}
+	t.Fatalf("no variable %q", name)
+	return nil
+}
+
+func funcByName(t *testing.T, u *Unit, name string) *types.Func {
+	t.Helper()
+	for _, obj := range u.Info.Defs {
+		if fn, ok := obj.(*types.Func); ok && fn.Name() == name {
+			return fn
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil
+}
+
+func TestBasicAliasing(t *testing.T) {
+	u, r := check(t, `package x
+func f() {
+	var x int
+	p := &x
+	q := p
+	_ = q
+}`)
+	q := varByName(t, u, "q")
+	objs := r.PointsTo(q)
+	if len(objs) != 1 || objs[0].Kind != KindShadow {
+		t.Fatalf("pts(q) = %v, want one shadow object", objs)
+	}
+	if objs[0].Label != "&x" {
+		t.Fatalf("label = %q, want &x", objs[0].Label)
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	u, r := check(t, `package x
+func f() {
+	var x, y int
+	pp := new(*int)
+	*pp = &x
+	q := *pp
+	_, _ = q, y
+}`)
+	q := varByName(t, u, "q")
+	objs := r.PointsTo(q)
+	if len(objs) != 1 || objs[0].Label != "&x" {
+		t.Fatalf("pts(q) = %v, want shadow of x", labels(objs))
+	}
+}
+
+func TestReturnEscapesHeap(t *testing.T) {
+	u, r := check(t, `package x
+func mk() []int { s := make([]int, 4); return s }`)
+	s := varByName(t, u, "s")
+	objs := r.PointsTo(s)
+	if len(objs) != 1 {
+		t.Fatalf("pts(s) = %v", labels(objs))
+	}
+	o := objs[0]
+	if !o.Escapes().Has(EscHeap) {
+		t.Fatalf("make object should heap-escape; esc=%b", o.Escapes())
+	}
+	if want := "returned from x.mk"; o.EscapeWhy(EscHeap) != want {
+		t.Fatalf("why = %q, want %q", o.EscapeWhy(EscHeap), want)
+	}
+	if o.Escapes().Has(EscGlobal) || o.Escapes().Has(EscGoroutine) {
+		t.Fatalf("unexpected extra escape routes: %b", o.Escapes())
+	}
+}
+
+func TestGlobalEscape(t *testing.T) {
+	u, r := check(t, `package x
+var G []int
+func f() {
+	s := make([]int, 1)
+	G = s
+}`)
+	s := varByName(t, u, "s")
+	o := r.PointsTo(s)[0]
+	if !o.Escapes().Has(EscGlobal) {
+		t.Fatalf("object assigned to G should global-escape")
+	}
+	if want := "package-level var x.G"; o.EscapeWhy(EscGlobal) != want {
+		t.Fatalf("why = %q, want %q", o.EscapeWhy(EscGlobal), want)
+	}
+}
+
+func TestGoroutineCapture(t *testing.T) {
+	u, r := check(t, `package x
+func f() {
+	s := make([]int, 8)
+	go func() {
+		s[0] = 1
+	}()
+	s[1] = 2
+}`)
+	s := varByName(t, u, "s")
+	if sp := r.CapturedBy(s); sp == nil {
+		t.Fatalf("s should be captured by the spawned goroutine")
+	} else if sp.Fn != "x.f" {
+		t.Fatalf("spawn fn = %q, want x.f", sp.Fn)
+	}
+	sp := r.SharedWithGoroutine(s)
+	if sp == nil {
+		t.Fatalf("writes through s should be goroutine-shared")
+	}
+	o := r.PointsTo(s)[0]
+	if got := o.EscapeWhy(EscGoroutine); !strings.Contains(got, "spawned in x.f") {
+		t.Fatalf("why = %q", got)
+	}
+}
+
+func TestGoroutineStaticCallArgs(t *testing.T) {
+	u, r := check(t, `package x
+func worker(buf []int) { buf[0] = 1 }
+func f() {
+	buf := make([]int, 8)
+	go worker(buf)
+	buf[1] = 2
+}`)
+	buf := varByName(t, u, "buf")
+	if r.SharedWithGoroutine(buf) == nil {
+		t.Fatalf("arg passed to go'd call should be goroutine-shared")
+	}
+	w := funcByName(t, u, "worker")
+	if sp := r.SpawnRoot(w); sp == nil || sp.Fn != "x.f" {
+		t.Fatalf("worker should be a spawn root of x.f, got %v", sp)
+	}
+	// Inside worker, the parameter aliases the same shared object.
+	for _, obj := range u.Info.Defs {
+		if v, ok := obj.(*types.Var); ok && v.Name() == "buf" && v != buf {
+			if r.SharedWithGoroutine(v) == nil {
+				t.Fatalf("worker's parameter should alias the shared buffer")
+			}
+		}
+	}
+}
+
+func TestChannelOwnershipTransfer(t *testing.T) {
+	u, r := check(t, `package x
+func f() {
+	ch := make(chan []int, 1)
+	go func() {
+		v := <-ch
+		v[0] = 1
+	}()
+	s := make([]int, 4)
+	ch <- s
+}`)
+	s := varByName(t, u, "s")
+	o := r.PointsTo(s)[0]
+	if !o.Escapes().Has(EscHeap) {
+		t.Fatalf("sent value should heap-escape")
+	}
+	if !o.heapViaChannelOnly {
+		t.Fatalf("heap escape should be via channel only")
+	}
+	// Ownership transfer: the payload is NOT goroutine-shared even
+	// though the channel itself is.
+	if o.Escapes().Has(EscGoroutine) {
+		t.Fatalf("channel payload must not be marked goroutine-shared (ownership transfer)")
+	}
+	ch := varByName(t, u, "ch")
+	if r.SharedWithGoroutine(ch) == nil {
+		t.Fatalf("the channel object itself is goroutine-shared")
+	}
+	// And the receiving side aliases the sent object.
+	v := varByName(t, u, "v")
+	if len(r.PointsTo(v)) == 0 {
+		t.Fatalf("receive should alias the sent object")
+	}
+}
+
+func TestUnknownCalleeEscape(t *testing.T) {
+	u, r := check(t, `package x
+import "fmt"
+func f() {
+	s := make([]int, 1)
+	fmt.Println(s)
+}`)
+	s := varByName(t, u, "s")
+	o := r.PointsTo(s)[0]
+	if !o.Escapes().Has(EscUnknown) {
+		t.Fatalf("arg to foreign callee should unknown-escape")
+	}
+	// But NOT goroutine-escape: the ext object's payload is opaque to
+	// the goroutine route by policy.
+	if o.Escapes().Has(EscGoroutine) {
+		t.Fatalf("unknown escape must not imply goroutine sharing")
+	}
+}
+
+func TestOwned(t *testing.T) {
+	u, r := check(t, `package x
+var G []int
+func fresh() []int { return make([]int, 2) }
+func f(in []int) {
+	a := make([]int, 2) // owned: never leaves f
+	b := fresh()        // owned: fresh via return
+	c := in             // not owned: caller's memory
+	d := make([]int, 2)
+	G = d // not owned: global
+	a[0], b[0], c[0], d[0] = 1, 1, 1, 1
+}`)
+	fn := funcByName(t, u, "f")
+	params := map[*types.Var]bool{varByName(t, u, "in"): true}
+	cases := []struct {
+		name string
+		want bool
+	}{{"a", true}, {"b", true}, {"c", false}, {"d", false}}
+	for _, tc := range cases {
+		v := varByName(t, u, tc.name)
+		if got := r.Owned(v, fn, params); got != tc.want {
+			t.Errorf("Owned(%s) = %v, want %v (pts=%v)", tc.name, got, tc.want, labels(r.PointsTo(v)))
+		}
+	}
+}
+
+func TestInterfaceCHACall(t *testing.T) {
+	u, r := check(t, `package x
+type Sink interface{ Put([]int) }
+type Impl struct{ got []int }
+func (m *Impl) Put(s []int) { m.got = s }
+var Global Sink
+func f() {
+	s := make([]int, 1)
+	Global.Put(s)
+}`)
+	s := varByName(t, u, "s")
+	// s flows into Impl.Put's parameter and is stored into the
+	// receiver; at minimum the CHA edge must exist (param aliases s).
+	var param *types.Var
+	for _, obj := range u.Info.Defs {
+		if v, ok := obj.(*types.Var); ok && v.Name() == "s" && v != s {
+			param = v
+		}
+	}
+	if param == nil {
+		t.Fatalf("no Put parameter found")
+	}
+	if len(r.PointsTo(param)) == 0 {
+		t.Fatalf("CHA should bind the interface call to Impl.Put")
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	src := `package x
+var G []int
+func f() {
+	a := make([]int, 1)
+	b := &a
+	go func() { (*b)[0] = 1 }()
+	G = a
+}`
+	_, r1 := check(t, src)
+	_, r2 := check(t, src)
+	if len(r1.Objects()) != len(r2.Objects()) {
+		t.Fatalf("object counts differ: %d vs %d", len(r1.Objects()), len(r2.Objects()))
+	}
+	for i := range r1.Objects() {
+		o1, o2 := r1.Objects()[i], r2.Objects()[i]
+		if o1.Label != o2.Label || o1.Escapes() != o2.Escapes() {
+			t.Fatalf("object %d differs: %q/%b vs %q/%b", i, o1.Label, o1.Escapes(), o2.Label, o2.Escapes())
+		}
+		for _, e := range []EscSet{EscGlobal, EscGoroutine, EscHeap, EscUnknown} {
+			if o1.EscapeWhy(e) != o2.EscapeWhy(e) {
+				t.Fatalf("why-chain differs for object %d route %b: %q vs %q", i, e, o1.EscapeWhy(e), o2.EscapeWhy(e))
+			}
+		}
+	}
+}
+
+func TestAppendKeepsAliasing(t *testing.T) {
+	u, r := check(t, `package x
+func f() []*int {
+	var x int
+	var s []*int
+	s = append(s, &x)
+	return s
+}`)
+	s := varByName(t, u, "s")
+	found := false
+	for _, o := range r.PointsTo(s) {
+		for _, c := range r.PointsTo(varByName(t, u, "x")) {
+			_ = c
+		}
+		_ = o
+	}
+	// The shadow of x must be reachable through s's cell: check via
+	// the objects' escape — returning s heap-escapes the shadow too.
+	for _, obj := range r.Objects() {
+		if obj.Kind == KindShadow && obj.Label == "&x" {
+			found = obj.Escapes().Has(EscHeap)
+		}
+	}
+	if !found {
+		t.Fatalf("&x stored via append should heap-escape when s is returned")
+	}
+}
+
+func labels(objs []*Object) []string {
+	out := make([]string, len(objs))
+	for i, o := range objs {
+		out[i] = o.Label
+	}
+	return out
+}

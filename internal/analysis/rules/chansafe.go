@@ -1,0 +1,419 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pbsim/internal/analysis"
+	"pbsim/internal/analysis/flow"
+)
+
+// ChanSafe is the flow-sensitive channel-state analyzer. Per function
+// body it tracks, for each channel expression, the set of states the
+// channel may be in — {nil, non-nil} × {open, closed} — through the
+// CFG, and reports the operations that are DEFINITE runtime failures
+// or deadlocks on some path:
+//
+//   - close of a definitely-closed channel (panic: close of closed
+//     channel), including across branches that rejoin;
+//   - send on a definitely-closed channel (panic: send on closed
+//     channel);
+//   - close of a definitely-nil channel (panic: close of nil channel);
+//   - send or receive on a definitely-nil channel outside a select
+//     (permanent goroutine block — in a select, a nil channel arm is
+//     the standard idiom for disabling a case, so it stays silent).
+//
+// Like the rest of the suite, "maybe" never fires: a channel closed on
+// one branch and not the other is {open, closed} at the join, and a
+// later close reports nothing. Deferred closes run at exit, after
+// every other statement, and are excluded from in-path state.
+// (A close of a receive-only channel is already a compile error, so
+// it cannot reach this analyzer.)
+var ChanSafe = &analysis.Analyzer{
+	Name: "chansafe",
+	Doc:  "no definite channel misuse: close/send on a closed channel, close of nil, or a blocking operation on a channel that is nil on every path",
+	Run:  runChanSafe,
+}
+
+const (
+	chNil    uint8 = 1 << 0 // nil possible
+	chNonNil uint8 = 1 << 1 // non-nil possible
+	chOpen   uint8 = 1 << 2 // open possible (only meaningful with chNonNil)
+	chClosed uint8 = 1 << 3 // closed possible
+
+	chAny = chNil | chNonNil | chOpen | chClosed
+)
+
+// chanState is the dataflow state: per channel key (expression text),
+// the possible-state bits.
+type chanState struct {
+	reached bool
+	chans   map[string]uint8
+}
+
+func (s *chanState) Join(other flow.State) flow.State {
+	o := other.(*chanState)
+	if !s.reached {
+		return o
+	}
+	if !o.reached {
+		return s
+	}
+	out := &chanState{reached: true, chans: make(map[string]uint8, len(s.chans)+len(o.chans))}
+	for k, v := range s.chans {
+		out.chans[k] = v
+	}
+	for k, v := range o.chans {
+		if cur, ok := out.chans[k]; ok {
+			out.chans[k] = cur | v
+		} else {
+			// Untracked on the other path: unknown there.
+			out.chans[k] = v | chAny
+		}
+	}
+	for k := range s.chans {
+		if _, ok := o.chans[k]; !ok {
+			out.chans[k] = out.chans[k] | chAny
+		}
+	}
+	return out
+}
+
+func (s *chanState) Equal(other flow.State) bool {
+	o := other.(*chanState)
+	if s.reached != o.reached || len(s.chans) != len(o.chans) {
+		return false
+	}
+	for k, v := range s.chans {
+		if ov, ok := o.chans[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// A chanOp is one channel operation (or state assignment) in a block,
+// in evaluation order.
+type chanOp struct {
+	pos token.Pos
+	key string
+
+	kind chanOpKind
+	// set is the state bits an assignment installs (kindAssign only).
+	set uint8
+	// inSelect marks send/recv ops that are a select communication
+	// clause, where nil channels are deliberate.
+	inSelect bool
+}
+
+type chanOpKind uint8
+
+const (
+	kindAssign chanOpKind = iota
+	kindClose
+	kindSend
+	kindRecv
+)
+
+// chanProblem drives chanState through each block's ops.
+type chanProblem struct {
+	ops map[*flow.Block][]chanOp
+}
+
+func (p *chanProblem) Boundary() flow.State { return &chanState{reached: true} }
+func (p *chanProblem) Bottom() flow.State   { return &chanState{} }
+func (p *chanProblem) Backward() bool       { return false }
+
+func (p *chanProblem) Transfer(b *flow.Block, in flow.State) flow.State {
+	return applyChanOps(in.(*chanState), p.ops[b], nil)
+}
+
+// applyChanOps runs one block's ops over a copy of st; with report
+// non-nil this is the post-fixpoint diagnostics pass over converged
+// in-states.
+func applyChanOps(st *chanState, ops []chanOp, report func(op chanOp, bits uint8)) *chanState {
+	if !st.reached || len(ops) == 0 {
+		return st
+	}
+	out := &chanState{reached: true, chans: make(map[string]uint8, len(st.chans))}
+	for k, v := range st.chans {
+		out.chans[k] = v
+	}
+	for _, op := range ops {
+		bits, tracked := out.chans[op.key]
+		if !tracked {
+			bits = chAny
+		}
+		switch op.kind {
+		case kindAssign:
+			out.chans[op.key] = op.set
+		case kindClose:
+			if report != nil {
+				report(op, bits)
+			}
+			// After a close, the channel is definitely non-nil closed
+			// (a nil close never returns).
+			out.chans[op.key] = chNonNil | chClosed
+		case kindSend, kindRecv:
+			if report != nil {
+				report(op, bits)
+			}
+			// A completed op proves non-nil.
+			out.chans[op.key] = (bits &^ chNil) | chNonNil
+		}
+	}
+	return out
+}
+
+func definitelyNil(bits uint8) bool { return bits&(chNil|chNonNil) == chNil }
+func definitelyClosed(bits uint8) bool {
+	return bits&chNonNil != 0 && bits&(chOpen|chClosed) == chClosed
+}
+
+func runChanSafe(pass *analysis.Pass) {
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkChanScope(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				if !isDeferredClosure(file, n) {
+					checkChanScope(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// chanKey returns the tracking key for a channel operand: the
+// expression text of an identifier or stable selector path. Operands
+// with calls or index expressions inside are untracked ("" key) — a
+// fresh evaluation could denote a different channel each time.
+func chanKey(info *types.Info, e ast.Expr) string {
+	e = ast.Unparen(e)
+	if !stableChanPath(info, e) {
+		return ""
+	}
+	if t := info.TypeOf(e); t != nil {
+		if _, ok := t.Underlying().(*types.Chan); !ok {
+			return ""
+		}
+	}
+	return types.ExprString(e)
+}
+
+// stableChanPath reports whether e is an identifier or a chain of
+// plain field selectors over one — the forms whose text re-evaluates
+// to the same channel on every mention within a body.
+func stableChanPath(info *types.Info, e ast.Expr) bool {
+	switch t := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return stableChanPath(info, t.X)
+	}
+	return false
+}
+
+// checkChanScope runs the dataflow over one body.
+func checkChanScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo()
+	g := flow.Build(body)
+
+	// selectComms is the set of send/recv expressions that are a select
+	// communication clause: nil there is the disable-a-case idiom.
+	selectComms := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			if comm, ok := c.(*ast.CommClause); ok && comm.Comm != nil {
+				markSelectComm(comm.Comm, selectComms)
+			}
+		}
+		return true
+	})
+
+	ops := make(map[*flow.Block][]chanOp, len(g.Blocks))
+	anyOps := false
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			collectChanOps(info, node, selectComms, &ops, b, &anyOps)
+		}
+	}
+	if !anyOps {
+		return
+	}
+
+	res := flow.Solve(g, &chanProblem{ops: ops})
+	for _, b := range g.Blocks {
+		in := res.In[b].(*chanState)
+		applyChanOps(in, ops[b], func(op chanOp, bits uint8) {
+			switch op.kind {
+			case kindClose:
+				if definitelyClosed(bits) {
+					pass.Reportf(op.pos,
+						"close of %s, which is already closed on every path reaching this statement; closing a closed channel panics at runtime",
+						op.key)
+				} else if definitelyNil(bits) {
+					pass.Reportf(op.pos,
+						"close of %s, which is nil on every path reaching this statement; closing a nil channel panics at runtime",
+						op.key)
+				}
+			case kindSend:
+				if definitelyClosed(bits) {
+					pass.Reportf(op.pos,
+						"send on %s after it is closed on every path reaching this statement; sending on a closed channel panics at runtime",
+						op.key)
+				} else if definitelyNil(bits) && !op.inSelect {
+					pass.Reportf(op.pos,
+						"send on %s, which is nil on every path reaching this statement; a nil-channel send blocks forever — make the channel first",
+						op.key)
+				}
+			case kindRecv:
+				if definitelyNil(bits) && !op.inSelect {
+					pass.Reportf(op.pos,
+						"receive from %s, which is nil on every path reaching this statement; a nil-channel receive blocks forever — make the channel first",
+						op.key)
+				}
+			}
+		})
+	}
+}
+
+// markSelectComm records the operation nodes of one select clause.
+func markSelectComm(comm ast.Stmt, set map[ast.Node]bool) {
+	switch c := comm.(type) {
+	case *ast.SendStmt:
+		set[c] = true
+	case *ast.ExprStmt:
+		if u, ok := ast.Unparen(c.X).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			set[u] = true
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range c.Rhs {
+			if u, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				set[u] = true
+			}
+		}
+	}
+}
+
+// collectChanOps appends node's channel ops and channel-typed
+// assignments to the block's list, in source order. Nested literals
+// are separate scopes; deferred statements run at exit; a RangeStmt
+// head contributes only its ranged operand (a receive, for channels).
+func collectChanOps(info *types.Info, node ast.Node, selectComms map[ast.Node]bool, ops *map[*flow.Block][]chanOp, b *flow.Block, anyOps *bool) {
+	emit := func(op chanOp) {
+		(*ops)[b] = append((*ops)[b], op)
+		if op.kind != kindAssign {
+			*anyOps = true
+		}
+	}
+	if r, ok := node.(*ast.RangeStmt); ok {
+		if key := chanKey(info, r.X); key != "" {
+			emit(chanOp{pos: r.X.Pos(), key: key, kind: kindRecv})
+		}
+		return
+	}
+	// assignBits classifies one RHS: a make is definitely open, nil is
+	// definitely nil, anything else is unknown.
+	assignBits := func(rhs ast.Expr) uint8 {
+		if rhs == nil {
+			return chNil // var ch chan T — zero value
+		}
+		switch t := ast.Unparen(rhs).(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(t.Fun).(*ast.Ident); ok {
+				if bi, ok := info.Uses[id].(*types.Builtin); ok && bi.Name() == "make" {
+					return chNonNil | chOpen
+				}
+			}
+		case *ast.Ident:
+			if _, isNil := info.Uses[t].(*types.Nil); isNil {
+				return chNil
+			}
+		}
+		return chAny
+	}
+	isChanType := func(e ast.Expr) bool {
+		t := info.TypeOf(e)
+		if t == nil {
+			return false
+		}
+		_, ok := t.Underlying().(*types.Chan)
+		return ok
+	}
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, lhs := range n.Lhs {
+					if !isChanType(lhs) {
+						continue
+					}
+					if key := chanKey(info, lhs); key != "" {
+						emit(chanOp{pos: lhs.Pos(), key: key, kind: kindAssign, set: assignBits(n.Rhs[i])})
+					}
+				}
+			} else {
+				// Tuple assignment: channel lvalues become unknown.
+				for _, lhs := range n.Lhs {
+					if isChanType(lhs) {
+						if key := chanKey(info, lhs); key != "" {
+							emit(chanOp{pos: lhs.Pos(), key: key, kind: kindAssign, set: chAny})
+						}
+					}
+				}
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if !isChanType(name) {
+						continue
+					}
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					emit(chanOp{pos: name.Pos(), key: name.Name, kind: kindAssign, set: assignBits(rhs)})
+				}
+			}
+		case *ast.SendStmt:
+			if key := chanKey(info, n.Chan); key != "" {
+				emit(chanOp{pos: n.Arrow, key: key, kind: kindSend, inSelect: selectComms[n]})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if key := chanKey(info, n.X); key != "" {
+					emit(chanOp{pos: n.Pos(), key: key, kind: kindRecv, inSelect: selectComms[n]})
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if bi, ok := info.Uses[id].(*types.Builtin); ok && bi.Name() == "close" {
+					if key := chanKey(info, n.Args[0]); key != "" {
+						emit(chanOp{pos: n.Pos(), key: key, kind: kindClose})
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+}

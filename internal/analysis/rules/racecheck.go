@@ -1,0 +1,495 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"pbsim/internal/analysis"
+	"pbsim/internal/analysis/flow"
+	"pbsim/internal/analysis/pointsto"
+)
+
+// RaceCheck is the static data-race analyzer for the concurrent
+// substrate. It combines three earlier layers:
+//
+//   - the points-to/escape engine says WHICH memory a spawned
+//     goroutine can reach (closure captures, go'd call arguments,
+//     anything stored where those can see it);
+//   - the spawn fact says WHICH functions run on a goroutine,
+//     including transitively (go f → f calls g → g is spawned);
+//   - the lockflow dataflow says WHERE a mutex is definitely held.
+//
+// A finding is a write to goroutine-shared memory at a point where no
+// lock is even possibly held — the definitely-unlocked-only policy.
+// If any sync.Mutex/RWMutex may be held at the write, the analyzer
+// assumes it is the intended guard and stays silent; a wrong guard is
+// a job for a dynamic race detector, not a zero-false-positive gate.
+//
+// Sharing is judged by where the write happens:
+//
+//   - In ordinary code, writes are reported only inside a spawn
+//     window: after a go statement, before the next synchronization
+//     edge the analyzer trusts (sync.WaitGroup.Wait or a channel
+//     receive), and only on paths where the window is DEFINITELY
+//     open. There the spawned goroutine is provably live, so an
+//     unlocked write to memory it captured or aliases races with it.
+//   - In spawned code (a go'd function literal, or a function the
+//     spawn fact reaches), writes to package-level state are always
+//     candidates, and writes to captured/shared memory are candidates
+//     only when the spawn sits in a loop — then the goroutines share
+//     the memory with each other and no spawner-side sync can help.
+//     A single straight-line spawn writing its captures is the
+//     ubiquitous "go func() { err = f() }(); ...; wg.Wait()" shape,
+//     where the spawner's window analysis already owns the pairing —
+//     reporting the goroutine side would flag every structured use.
+//
+// Channel-transferred ownership never reports: the points-to engine's
+// goroutine-escape traversal does not descend through channel
+// payloads, so a value sent on a channel belongs to the receiver.
+// Writes via sync/atomic are calls, not assignments, and are
+// naturally exempt.
+var RaceCheck = &analysis.Analyzer{
+	Name: "racecheck",
+	Doc:  "no unsynchronized writes to goroutine-shared state: writes to memory a spawned goroutine can reach must hold a lock or happen outside the spawn window",
+	Run:  runRaceCheck,
+}
+
+// raceEvent is one ordered occurrence inside a basic block: a lock
+// operation, a window edge, or a write.
+type raceEvent struct {
+	pos token.Pos
+
+	// Exactly one of the following is meaningful.
+	lock   *lockOp         // Lock/Unlock/RLock/RUnlock call
+	spawn  *pointsto.Spawn // go statement: opens the window
+	closes bool            // wg.Wait or channel receive: closes it
+	write  ast.Expr        // lvalue (or mutated operand) of a write
+	// indirect seeds the lvalue walk (true for delete/copy-style
+	// mutations that always go through a reference).
+	indirect bool
+}
+
+// raceScope is one analyzed body with its goroutine context.
+type raceScope struct {
+	pass *analysis.Pass
+	pts  *pointsto.Result
+
+	// ctxAll marks a body that runs entirely on a spawned goroutine (a
+	// go'd literal or a spawn-fact function); spawn/spawnWhy identify
+	// the responsible go statement for the message.
+	ctxAll   bool
+	spawn    *pointsto.Spawn
+	spawnWhy string
+	// lit marks the body of a function literal that is the direct
+	// operand of the go statement in spawn: its free variables are
+	// shared storage, and spawn's loop extent is in the same function,
+	// so declaration positions are directly comparable.
+	lit bool
+
+	seen map[token.Pos]bool
+}
+
+func runRaceCheck(pass *analysis.Pass) {
+	pts := pass.Facts.PointsTo()
+	if pts == nil {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		goLits := collectGoLits(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body == nil {
+					return true
+				}
+				sc := &raceScope{pass: pass, pts: pts, seen: make(map[token.Pos]bool)}
+				if fi := pass.Facts.Lookup(info.Defs[n.Name]); fi != nil && fi.Facts().Has(analysis.FactSpawned) {
+					sc.ctxAll = true
+					sc.spawn = fi.SpawnedBy()
+					sc.spawnWhy = fi.Why(analysis.FactSpawned)
+				}
+				sc.check(n.Body)
+			case *ast.FuncLit:
+				sc := &raceScope{pass: pass, pts: pts, seen: make(map[token.Pos]bool)}
+				if sp, ok := goLits[n]; ok {
+					sc.ctxAll = true
+					sc.lit = true
+					sc.spawn = sp
+					sc.spawnWhy = "go'd in " + sp.Fn
+				} else if isDeferredClosure(file, n) {
+					// Runs at the enclosing function's exit, on the same
+					// goroutine; the window state there is unknowable.
+					return true
+				}
+				sc.check(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// collectGoLits maps every function literal that is the direct operand
+// of a go statement to the spawn describing that statement.
+func collectGoLits(file *ast.File) map[*ast.FuncLit]*pointsto.Spawn {
+	out := make(map[*ast.FuncLit]*pointsto.Spawn)
+	ast.Inspect(file, func(n ast.Node) bool {
+		decl, ok := n.(*ast.FuncDecl)
+		if !ok || decl.Body == nil {
+			return true
+		}
+		fn := decl.Name.Name
+		if decl.Recv != nil {
+			if len(decl.Recv.List) > 0 {
+				t := decl.Recv.List[0].Type
+				if star, ok := t.(*ast.StarExpr); ok {
+					t = star.X
+				}
+				if ix, ok := t.(*ast.IndexExpr); ok {
+					t = ix.X
+				}
+				if id, ok := t.(*ast.Ident); ok {
+					fn = id.Name + "." + fn
+				}
+			}
+		}
+		fn = file.Name.Name + "." + fn
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				ls, le, inLoop := pointsto.SpawnLoop(decl.Body, g.Go)
+				out[lit] = &pointsto.Spawn{
+					Pos:       g.Go,
+					Fn:        fn,
+					InLoop:    inLoop,
+					LoopStart: ls,
+					LoopEnd:   le,
+				}
+			}
+			return true
+		})
+		return true
+	})
+	return out
+}
+
+// check runs the two dataflows over one body and reports unguarded
+// shared writes.
+func (sc *raceScope) check(body *ast.BlockStmt) {
+	info := sc.pass.TypesInfo()
+	g := flow.Build(body)
+
+	events := make(map[*flow.Block][]raceEvent, len(g.Blocks))
+	lockOps := make(map[*flow.Block][]lockOp, len(g.Blocks))
+	anyWrite := false
+	for _, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			sc.collectEvents(info, body, node, &events, b)
+		}
+		for _, ev := range events[b] {
+			if ev.lock != nil {
+				lockOps[b] = append(lockOps[b], *ev.lock)
+			}
+			if ev.write != nil {
+				anyWrite = true
+			}
+		}
+	}
+	if !anyWrite {
+		return
+	}
+
+	lockRes := flow.Solve(g, &lockProblem{ops: lockOps})
+	winRes := flow.Solve(g, &winProblem{events: events})
+
+	for _, b := range g.Blocks {
+		lst := lockRes.In[b].(*lockState)
+		win := winRes.In[b].(*winState)
+		if !win.reached {
+			continue
+		}
+		for _, ev := range events[b] {
+			switch {
+			case ev.lock != nil:
+				lst = applyLockOps(lst, []lockOp{*ev.lock}, nil)
+			case ev.spawn != nil:
+				win = &winState{reached: true, open: true, spawn: ev.spawn}
+			case ev.closes:
+				win = &winState{reached: true}
+			case ev.write != nil:
+				if anyLockMaybeHeld(lst) {
+					continue
+				}
+				sc.reportWrite(ev, win.open)
+			}
+		}
+	}
+}
+
+// anyLockMaybeHeld reports whether some lock key may be held (depth
+// possibly >= 1) in the state: the definitely-unlocked-only gate.
+func anyLockMaybeHeld(st *lockState) bool {
+	for _, v := range st.locks {
+		if v.depths&(depthOne|depthMany) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectEvents appends node's lock ops, window edges, and writes to
+// the block's event list, in source order. Function literals are
+// separate scopes and deferred statements run at exit; neither
+// contributes events here. A RangeStmt node is the loop's head marker:
+// only its ranged operand belongs to this block.
+func (sc *raceScope) collectEvents(info *types.Info, body *ast.BlockStmt, node ast.Node, events *map[*flow.Block][]raceEvent, b *flow.Block) {
+	emit := func(ev raceEvent) { (*events)[b] = append((*events)[b], ev) }
+	if r, ok := node.(*ast.RangeStmt); ok {
+		if t := info.TypeOf(r.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				// Each iteration begins with a receive: a trusted
+				// synchronization edge.
+				emit(raceEvent{pos: r.For, closes: true})
+			}
+		}
+		return
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit, *ast.DeferStmt:
+				return false
+			case *ast.GoStmt:
+				// The call's operands are evaluated on this goroutine
+				// first; then the window opens.
+				for _, arg := range n.Call.Args {
+					walk(arg)
+				}
+				emit(raceEvent{pos: n.Go, spawn: &pointsto.Spawn{Pos: n.Go}})
+				return false
+			case *ast.AssignStmt:
+				// Right-hand sides evaluate first (a receive there
+				// closes the window before the store lands).
+				for _, rhs := range n.Rhs {
+					walk(rhs)
+				}
+				for _, lhs := range n.Lhs {
+					emit(raceEvent{pos: lhs.Pos(), write: lhs})
+				}
+				return false
+			case *ast.IncDecStmt:
+				walk(n.X)
+				emit(raceEvent{pos: n.X.Pos(), write: n.X})
+				return false
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					emit(raceEvent{pos: n.Pos(), closes: true})
+				}
+			case *ast.CallExpr:
+				if recv, method, ok := syncMutexMethod(info, n); ok {
+					emit(raceEvent{pos: n.Pos(), lock: &lockOp{
+						pos:     n.Pos(),
+						key:     lockKeyFor(recv, method),
+						recv:    recv,
+						method:  method,
+						acquire: method == "Lock" || method == "RLock",
+					}})
+					return true
+				}
+				if isWaitGroupWait(info, n) {
+					emit(raceEvent{pos: n.Pos(), closes: true})
+					return true
+				}
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) > 0 {
+					if bi, ok := info.Uses[id].(*types.Builtin); ok {
+						switch bi.Name() {
+						case "delete", "copy":
+							for _, a := range n.Args {
+								walk(a)
+							}
+							emit(raceEvent{pos: n.Pos(), write: n.Args[0], indirect: true})
+							return false
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	walk(node)
+}
+
+// isWaitGroupWait matches a call to (*sync.WaitGroup).Wait.
+func isWaitGroupWait(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" && fn.Name() == "Wait"
+}
+
+// reportWrite classifies one unlocked write against the points-to
+// result and the scope's goroutine context, and reports if shared.
+// winOpen says a spawn window of THIS body is definitely open at the
+// write (the spawned goroutine is provably live).
+func (sc *raceScope) reportWrite(ev raceEvent, winOpen bool) {
+	wt, ok := analysis.ClassifyWrite(sc.pass.TypesInfo(), ev.write, ev.indirect)
+	if !ok || wt.Base == nil || sc.seen[ev.pos] {
+		return
+	}
+	name := wt.Base.Name()
+	spawnedIn := func(s *pointsto.Spawn) string {
+		if s != nil && s.Fn != "" {
+			return " spawned in " + s.Fn
+		}
+		return ""
+	}
+	report := func(format string, args ...any) {
+		sc.seen[ev.pos] = true
+		sc.pass.Reportf(ev.pos, format, args...)
+	}
+
+	if wt.Global {
+		if !sc.ctxAll {
+			return
+		}
+		where := sc.spawnWhy
+		if where == "" {
+			where = "a goroutine" + spawnedIn(sc.spawn)
+		}
+		report("unsynchronized write to package-level %s from a spawned goroutine (%s); guard it with a mutex or confine it to one goroutine",
+			name, where)
+		return
+	}
+
+	// Spawner side: inside an open window of this body, the just-
+	// spawned goroutine is live and every write to memory it can see
+	// races it.
+	if winOpen {
+		if !wt.Indirect {
+			if cap := sc.pts.CapturedBy(wt.Base); cap != nil {
+				report("unsynchronized write to %s while the goroutine%s that captures it is running; guard both sides with one mutex or move the write before the go statement",
+					name, spawnedIn(cap))
+				return
+			}
+			if shr := sc.pts.AddrSharedWithGoroutine(wt.Base); shr != nil {
+				report("unsynchronized write to %s, whose address is shared with the goroutine%s; guard both sides with one mutex",
+					name, spawnedIn(shr))
+				return
+			}
+		} else if shr := sc.pts.SharedWithGoroutine(wt.Base); shr != nil {
+			report("unsynchronized write through %s to memory shared with the goroutine%s; guard both sides with one mutex or hand the memory off on a channel",
+				name, spawnedIn(shr))
+			return
+		}
+	}
+
+	if !sc.ctxAll {
+		return
+	}
+
+	// Goroutine side. Only loop spawns share memory goroutine-to-
+	// goroutine (a single spawn's captures are the spawner's window
+	// problem), and only storage living OUTSIDE the spawn loop is one
+	// location across iterations — anything declared or allocated
+	// inside the loop is fresh per goroutine.
+	if sc.lit {
+		// The body IS the go'd literal: a write to any variable
+		// declared outside the spawn's loop (hence outside the
+		// literal) hits storage every iteration's goroutine shares.
+		if sc.spawn.SharedAcrossIterations(wt.Base.Pos()) {
+			if wt.Indirect {
+				report("unsynchronized write through %s to memory shared between the goroutines spawned in a loop in %s; guard the write or shard the memory per goroutine",
+					name, sc.spawn.Fn)
+			} else {
+				report("unsynchronized write to %s, shared between the goroutines spawned in a loop in %s; each iteration's goroutine races the others — guard the write or give each goroutine its own variable",
+					name, sc.spawn.Fn)
+			}
+			return
+		}
+	}
+	if !wt.Indirect {
+		// A spawned function's own locals and parameters are fresh per
+		// call; without the literal's capture evidence a direct write
+		// is not provably shared.
+		return
+	}
+	for _, o := range sc.pts.PointsTo(wt.Base) {
+		if !o.Escapes().Has(pointsto.EscGoroutine) {
+			continue
+		}
+		// The evidence object must be allocated in the SPAWNING
+		// function itself, outside its loop: loop extents are only
+		// comparable to positions in the same function, and an object
+		// allocated in a callee is fresh per call.
+		sp := o.SpawnSite()
+		if sp != nil && o.Fn == sp.Fn && o.PkgPath == sp.PkgPath && sp.SharedAcrossIterations(o.Pos) {
+			report("unsynchronized write through %s to memory shared between the goroutines spawned in a loop in %s; guard the write or shard the memory per goroutine",
+				name, sp.Fn)
+			return
+		}
+	}
+}
+
+// winState is the spawn-window dataflow state: open means a go
+// statement definitely executed on EVERY path here with no trusted
+// synchronization edge since.
+type winState struct {
+	reached bool
+	open    bool
+	spawn   *pointsto.Spawn
+}
+
+func (s *winState) Join(other flow.State) flow.State {
+	o := other.(*winState)
+	if !s.reached {
+		return o
+	}
+	if !o.reached {
+		return s
+	}
+	out := &winState{reached: true, open: s.open && o.open}
+	if out.open {
+		out.spawn = s.spawn
+		if o.spawn != nil && (out.spawn == nil || o.spawn.Pos < out.spawn.Pos) {
+			out.spawn = o.spawn
+		}
+	}
+	return out
+}
+
+func (s *winState) Equal(other flow.State) bool {
+	o := other.(*winState)
+	return s.reached == o.reached && s.open == o.open && s.spawn == o.spawn
+}
+
+// winProblem drives the window state through each block's events.
+type winProblem struct {
+	events map[*flow.Block][]raceEvent
+}
+
+func (p *winProblem) Boundary() flow.State { return &winState{reached: true} }
+func (p *winProblem) Bottom() flow.State   { return &winState{} }
+func (p *winProblem) Backward() bool       { return false }
+
+func (p *winProblem) Transfer(b *flow.Block, in flow.State) flow.State {
+	st := in.(*winState)
+	if !st.reached {
+		return st
+	}
+	for _, ev := range p.events[b] {
+		switch {
+		case ev.spawn != nil:
+			st = &winState{reached: true, open: true, spawn: ev.spawn}
+		case ev.closes:
+			st = &winState{reached: true}
+		}
+	}
+	return st
+}

@@ -28,6 +28,8 @@ func All() []*analysis.Analyzer {
 		Purity,
 		LockFlow,
 		ErrFlow,
+		RaceCheck,
+		ChanSafe,
 	}
 }
 

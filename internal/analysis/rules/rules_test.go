@@ -90,6 +90,8 @@ func TestGolden(t *testing.T) {
 		{"purity", "purity"},
 		{"lockflow", "lockflow"},
 		{"errflow", "errflow"},
+		{"racecheck", "racecheck"},
+		{"chansafe", "chansafe"},
 		// The interprocedural golden: only facts/sim is analyzed; flow
 		// and clock enter the universe as dependencies, so every
 		// finding crosses at least one package boundary.
@@ -136,10 +138,10 @@ func TestSuppression(t *testing.T) {
 	}
 
 	ignores := byRule[analysis.IgnoreRule]
-	if len(ignores) != 3 {
-		t.Fatalf("got %d ignore diagnostics, want 3 (missing reason, missing rule, unknown rule): %+v", len(ignores), ignores)
+	if len(ignores) != 4 {
+		t.Fatalf("got %d ignore diagnostics, want 4 (missing reason, missing rule, unknown rule, stale waiver): %+v", len(ignores), ignores)
 	}
-	wantFragments := []string{"needs a reason", "needs a rule", "unknown rule"}
+	wantFragments := []string{"needs a reason", "needs a rule", "unknown rule", "stale //pbcheck:ignore"}
 	for _, frag := range wantFragments {
 		found := false
 		for _, d := range ignores {
@@ -164,7 +166,9 @@ func TestSuppression(t *testing.T) {
 		}
 	}
 	// SameLine and LineAbove are waived; MissingReason, MissingRule,
-	// UnknownRule, and TooFar keep their findings active.
+	// UnknownRule, and TooFar keep their findings active. TooFar's
+	// waiver additionally goes stale: two lines above the call, it
+	// suppresses nothing, and the stale-waiver check says so.
 	if len(suppressed) != 2 {
 		t.Errorf("got %d suppressed errdiscard findings, want 2: %+v", len(suppressed), suppressed)
 	}
@@ -176,7 +180,7 @@ func TestSuppression(t *testing.T) {
 	if len(active) != 4 {
 		t.Errorf("got %d active errdiscard findings, want 4: %+v", len(active), active)
 	}
-	if got := analysis.Active(diags); got != 7 {
-		t.Errorf("Active = %d, want 7 (3 ignore + 4 errdiscard)", got)
+	if got := analysis.Active(diags); got != 8 {
+		t.Errorf("Active = %d, want 8 (4 ignore + 4 errdiscard)", got)
 	}
 }

@@ -1,0 +1,104 @@
+// Package cs seeds the chansafe shapes: definite double-close,
+// send-after-close, nil close, and nil blocking operations — plus the
+// maybe-states, reassignments, and select idioms that must stay
+// silent.
+package cs
+
+// DoubleClose closes the same channel twice in a straight line.
+func DoubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want chansafe: close of closed channel
+}
+
+// SendAfterClose sends on a channel every path has closed.
+func SendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want chansafe: send on closed channel
+}
+
+// CloseNil closes a channel that is nil on every path.
+func CloseNil() {
+	var ch chan int
+	close(ch) // want chansafe: close of nil channel
+}
+
+// NilSendBlocks sends on a definitely-nil channel outside a select:
+// the goroutine blocks forever.
+func NilSendBlocks() {
+	var ch chan int
+	ch <- 1 // want chansafe: nil-channel send
+}
+
+// NilRecvBlocks receives from a definitely-nil channel outside a
+// select.
+func NilRecvBlocks() int {
+	var ch chan int
+	return <-ch // want chansafe: nil-channel receive
+}
+
+// MaybeClosed closes on one branch only: at the second close the
+// state is {open, closed} — a maybe — and stays silent.
+func MaybeClosed(early bool) {
+	ch := make(chan int)
+	if early {
+		close(ch)
+	}
+	if !early {
+		close(ch) // maybe-closed: silent
+	}
+}
+
+// BranchDoubleClose closes on both branches, so the rejoined close is
+// a definite double close.
+func BranchDoubleClose(a bool) {
+	ch := make(chan int)
+	if a {
+		close(ch)
+	} else {
+		close(ch)
+	}
+	close(ch) // want chansafe: closed on every path in
+}
+
+// Reopen rebinds the variable to a fresh channel between closes: the
+// second close targets an open channel and stays silent.
+func Reopen() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	close(ch) // fresh channel: silent
+}
+
+// SelectNilArm reads from a deliberately nil channel inside a select:
+// the standard disable-a-case idiom, silent — the same receive
+// outside a select (NilRecvBlocks) reports.
+func SelectNilArm() int {
+	var updates chan int
+	select {
+	case v := <-updates:
+		return v
+	default:
+		return 0
+	}
+}
+
+// SelectClosedSend shows select does not excuse a definite
+// send-after-close: the arm panics when chosen.
+func SelectClosedSend() {
+	ch := make(chan int, 1)
+	close(ch)
+	select {
+	case ch <- 1: // want chansafe: send on closed channel even in select
+	default:
+	}
+}
+
+// DeferredClose releases the channel at exit: deferred statements
+// carry no in-path state, so the send below stays silent.
+func DeferredClose() {
+	ch := make(chan int, 1)
+	defer close(ch)
+	ch <- 1 // before the deferred close runs: silent
+}

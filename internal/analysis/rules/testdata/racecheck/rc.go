@@ -1,0 +1,150 @@
+// Package rc seeds the racecheck shapes: spawner-side writes inside
+// an open spawn window, loop-spawned goroutines sharing their
+// captures, spawned functions writing package state — and the
+// synchronized or ownership-transferring variants of each that must
+// stay silent.
+package rc
+
+import "sync"
+
+// CapturedCounter writes a captured variable while the goroutine that
+// captures it is still running. Only the write between the go
+// statement and the channel receive reports: before the spawn there
+// is no goroutine, after the receive the window is closed.
+func CapturedCounter() int {
+	n := 0
+	done := make(chan struct{})
+	n++ // before the spawn: silent
+	go func() {
+		n++ // single straight-line spawn: the spawner's window owns it
+		close(done)
+	}()
+	n++ // want racecheck: in-window write to a captured variable
+	<-done
+	n++ // after the synchronization edge: silent
+	return n
+}
+
+// SharedSlice writes through a slice the spawned goroutine also
+// holds. The in-window element write reports; the one after wg.Wait
+// does not.
+func SharedSlice() int {
+	buf := make([]int, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf[0] = 1
+	}()
+	buf[1] = 2 // want racecheck: in-window write to shared memory
+	wg.Wait()
+	buf[2] = 3 // after wg.Wait: silent
+	return buf[0] + buf[1] + buf[2]
+}
+
+// Guarded takes the same shape as CapturedCounter but holds a mutex
+// on both sides: definitely-unlocked-only means no report.
+func Guarded() int {
+	var mu sync.Mutex
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		mu.Lock()
+		n++
+		mu.Unlock()
+		close(done)
+	}()
+	mu.Lock()
+	n++ // lock possibly held: silent
+	mu.Unlock()
+	<-done
+	return n
+}
+
+// LoopSpawn accumulates into a captured variable from goroutines
+// spawned in a loop: the goroutines race each other, so the
+// goroutine-side write reports even though the spawner synchronizes.
+func LoopSpawn(rows [][]float64) float64 {
+	sum := 0.0
+	var wg sync.WaitGroup
+	for _, r := range rows {
+		wg.Add(1)
+		go func(r []float64) {
+			defer wg.Done()
+			for _, v := range r {
+				sum += v // want racecheck: loop-spawned goroutines share sum
+			}
+		}(r)
+	}
+	wg.Wait()
+	return sum
+}
+
+// LoopSpawnGuarded is the corrected LoopSpawn: the mutex covers the
+// accumulation, so every write is possibly-locked and silent.
+func LoopSpawnGuarded(rows [][]float64) float64 {
+	var mu sync.Mutex
+	sum := 0.0
+	var wg sync.WaitGroup
+	for _, r := range rows {
+		wg.Add(1)
+		go func(r []float64) {
+			defer wg.Done()
+			mu.Lock()
+			for _, v := range r {
+				sum += v
+			}
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return sum
+}
+
+var hits int
+
+// Spawner launches a goroutine whose call chain reaches bump: the
+// spawn fact travels go statement → record → bump, and the unguarded
+// package-level write reports two hops from the spawn site.
+func Spawner() {
+	go func() { record() }()
+}
+
+func record() { bump() }
+
+func bump() {
+	hits++ // want racecheck: unguarded global write on a spawned goroutine
+}
+
+var (
+	totalMu sync.Mutex
+	total   int
+)
+
+// SpawnGuardedGlobal spawns addTotal directly; its global write holds
+// the mutex and stays silent.
+func SpawnGuardedGlobal() {
+	go addTotal(5)
+}
+
+func addTotal(n int) {
+	totalMu.Lock()
+	total += n
+	totalMu.Unlock()
+}
+
+// ChannelHandoff sends freshly built memory to the goroutine on a
+// channel: ownership transfers, so neither side's writes report.
+func ChannelHandoff() {
+	ch := make(chan []int, 1)
+	done := make(chan struct{})
+	go func() {
+		v := <-ch
+		v[0]++ // receiver owns the payload: silent
+		close(done)
+	}()
+	s := make([]int, 4)
+	s[0] = 1 // handed off on a channel, not shared: silent
+	ch <- s
+	<-done
+}

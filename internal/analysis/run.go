@@ -2,7 +2,9 @@ package analysis
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -17,11 +19,33 @@ type RuleStat struct {
 }
 
 // RunStats is the -stats payload: where a pbcheck run spent its time.
-// FactBuild covers phase 1 (call graph + fixpoint over the universe);
-// Rules lists every analyzer in suite order.
+// FactBuild covers phase 1 (call graph + fixpoint over the universe),
+// of which PointsTo is the Andersen solve; Rules lists every analyzer
+// in suite order. RuleWall is the real elapsed time of phase 2 under
+// Workers concurrent package workers, RuleSeq the sum of every
+// per-package analyzer slice — what the same run would have cost
+// sequentially. RuleSeq/RuleWall is the measured speedup.
 type RunStats struct {
 	FactBuild time.Duration
+	PointsTo  time.Duration
 	Rules     []RuleStat
+	RuleWall  time.Duration
+	RuleSeq   time.Duration
+	Workers   int
+}
+
+// DefaultWorkers is the phase-2 parallelism the drivers use when the
+// caller does not choose: one worker per CPU, capped so a large
+// machine does not oversubscribe the allocator on tiny runs.
+func DefaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
 }
 
 // Run executes every analyzer over every package with a fact universe
@@ -50,12 +74,53 @@ func RunUniverse(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagnostic
 	return diags, err
 }
 
-// RunUniverseTimed is RunUniverse plus per-phase timing: the returned
-// RunStats carries the fact-build duration and each analyzer's wall
-// time and diagnostic count, in suite order. The diagnostics are
-// byte-identical to RunUniverse's — timing observes the run, it never
-// alters it.
+// RunUniverseTimed is RunUniverse plus per-phase timing, at the
+// default phase-2 parallelism. The diagnostics are byte-identical to
+// RunUniverse's — timing observes the run, it never alters it.
 func RunUniverseTimed(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagnostic, *RunStats, error) {
+	return RunUniverseTimedWorkers(pkgs, universe, analyzers, DefaultWorkers())
+}
+
+// pkgResult is one package's phase-2 output: its diagnostics (in
+// emission order, suppressions applied, stale waivers flagged) and the
+// per-analyzer wall time and finding count, indexed in suite order.
+type pkgResult struct {
+	diags     []Diagnostic
+	ruleTime  []time.Duration
+	ruleCount []int
+}
+
+// analyzePackage runs the full analyzer suite over one package. It
+// touches only its own pkgResult plus read-only shared state (the
+// fact index and points-to result are frozen after phase 1), so any
+// number of packages can run concurrently.
+func analyzePackage(pkg *Package, facts *FactIndex, analyzers []*Analyzer, known map[string]bool) pkgResult {
+	res := pkgResult{
+		ruleTime:  make([]time.Duration, len(analyzers)),
+		ruleCount: make([]int, len(analyzers)),
+	}
+	sups, supDiags := scanSuppressions(pkg, known)
+	res.diags = append(res.diags, supDiags...)
+	for i, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, sink: &res.diags}
+		before := len(res.diags)
+		t0 := time.Now()
+		a.Run(pass)
+		res.ruleTime[i] = time.Since(t0)
+		res.ruleCount[i] = len(res.diags) - before
+	}
+	fired := applySuppressions(res.diags, sups)
+	res.diags = append(res.diags, staleWaivers(facts, sups, fired, known)...)
+	return res
+}
+
+// RunUniverseTimedWorkers is the fully parameterized driver: phase 2
+// fans packages out over a bounded pool of `workers` goroutines.
+// Each package's analysis writes only its own result slot, results
+// are merged in input-package order, and the final sort is position
+// based — the diagnostics are byte-identical at every worker count,
+// only the wall time moves.
+func RunUniverseTimedWorkers(pkgs, universe []*Package, analyzers []*Analyzer, workers int) ([]Diagnostic, *RunStats, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		if a.Name == IgnoreRule {
@@ -90,35 +155,70 @@ func RunUniverseTimed(pkgs, universe []*Package, analyzers []*Analyzer) ([]Diagn
 	}
 	factStart := time.Now()
 	facts := BuildFacts(all, factKnown)
-	stats := &RunStats{FactBuild: time.Since(factStart)}
+	stats := &RunStats{
+		FactBuild: time.Since(factStart),
+		PointsTo:  facts.PointsToTime(),
+	}
 	for _, pkg := range pkgs {
 		facts.analyzed[pkg.Path] = true
 	}
 
-	// Phase 2: analyzers with fact access, timed per rule across all
-	// packages.
-	ruleTime := make(map[string]time.Duration, len(analyzers))
-	ruleCount := make(map[string]int, len(analyzers))
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		sups, supDiags := scanSuppressions(pkg, known)
-		start := len(diags)
-		diags = append(diags, supDiags...)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, Facts: facts, sink: &diags}
-			before := len(diags)
-			t0 := time.Now()
-			a.Run(pass)
-			ruleTime[a.Name] += time.Since(t0)
-			ruleCount[a.Name] += len(diags) - before
-		}
-		applySuppressions(diags[start:], sups)
+	// Phase 2: analyzers with fact access, one bounded worker pool
+	// over the packages. The index channel deals each package to
+	// exactly one worker; slot i of results belongs to that worker
+	// alone until the wg.Wait join publishes everything.
+	if workers < 1 {
+		workers = 1
 	}
-	for _, a := range analyzers {
+	if workers > len(pkgs) && len(pkgs) > 0 {
+		workers = len(pkgs)
+	}
+	stats.Workers = workers
+	ruleStart := time.Now()
+	results := make([]pkgResult, len(pkgs))
+	if workers <= 1 {
+		for i, pkg := range pkgs {
+			results[i] = analyzePackage(pkg, facts, analyzers, known)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					//pbcheck:ignore racecheck the index channel deals each slot i to exactly one worker, and wg.Wait orders every write before the merge reads
+					results[i] = analyzePackage(pkgs[i], facts, analyzers, known)
+				}
+			}()
+		}
+		for i := range pkgs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	stats.RuleWall = time.Since(ruleStart)
+
+	// Merge in input-package order; per-rule times sum across packages
+	// into the sequential-cost estimate.
+	ruleTime := make([]time.Duration, len(analyzers))
+	ruleCount := make([]int, len(analyzers))
+	var diags []Diagnostic
+	for _, r := range results {
+		diags = append(diags, r.diags...)
+		for i := range analyzers {
+			ruleTime[i] += r.ruleTime[i]
+			ruleCount[i] += r.ruleCount[i]
+			stats.RuleSeq += r.ruleTime[i]
+		}
+	}
+	for i, a := range analyzers {
 		stats.Rules = append(stats.Rules, RuleStat{
 			Rule:     a.Name,
-			Time:     ruleTime[a.Name],
-			Findings: ruleCount[a.Name],
+			Time:     ruleTime[i],
+			Findings: ruleCount[i],
 		})
 	}
 	sort.Slice(diags, func(i, j int) bool { return diags[i].sortKey() < diags[j].sortKey() })
